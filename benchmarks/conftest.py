@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure through the experiment
+registry at a reduced scale (the full configuration is available through
+``python -m repro.experiments run <id>``).  Results are attached to the
+benchmark record via ``extra_info`` so the emitted JSON doubles as the
+reproduction artifact.
+"""
+
+import pytest
+
+
+BENCH_SCALE = 0.1
+
+
+def run_and_record(benchmark, exp_id, scale=BENCH_SCALE, seed=0):
+    """Run an experiment once under the benchmark timer; attach results."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(exp_id,), kwargs={"scale": scale, "seed": seed},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["exp_id"] = exp_id
+    benchmark.extra_info["paper_ref"] = result.paper_ref
+    benchmark.extra_info["derived"] = {
+        key: (round(value, 4) if isinstance(value, float) else str(value))
+        for key, value in result.derived.items()
+    }
+    print()
+    print(result.to_text())
+    return result
+
+
+@pytest.fixture
+def record(benchmark):
+    def _record(exp_id, scale=BENCH_SCALE, seed=0):
+        return run_and_record(benchmark, exp_id, scale=scale, seed=seed)
+
+    return _record

@@ -1,0 +1,10 @@
+"""Benchmark regenerating the Section 4.1 time-slice ablation.
+
+Runs the ablation_slice experiment end to end at a reduced scale and prints the
+reproduced rows next to the claim it validates.
+"""
+
+
+def test_bench_ablation_slice(record):
+    result = record("ablation_slice", scale=0.2)
+    assert result.derived["adaptive_switch_overhead_pct"] < result.derived["fixed_switch_overhead_pct"]

@@ -1,0 +1,10 @@
+"""Benchmark regenerating the Section 4.3 empty-poll-threshold ablation.
+
+Runs the ablation_threshold experiment end to end at a reduced scale and prints the
+reproduced rows next to the claim it validates.
+"""
+
+
+def test_bench_ablation_threshold(record):
+    result = record("ablation_threshold", scale=0.2)
+    assert result.derived["adaptive_harvested_ms"] > result.derived["large_harvested_ms"]

@@ -1,0 +1,10 @@
+"""Benchmark regenerating the Section 8 instruction-auditing demonstration.
+
+Runs the ext_audit experiment end to end at a reduced scale and prints the
+reproduced rows next to the claim it validates.
+"""
+
+
+def test_bench_ext_audit(record):
+    result = record("ext_audit", scale=0.3)
+    assert result.derived["records"] > 5

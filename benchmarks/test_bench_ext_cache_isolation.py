@@ -1,0 +1,10 @@
+"""Benchmark regenerating the Section 9 cache-isolation optimization.
+
+Runs the ext_cache_isolation experiment end to end at a reduced scale and prints the
+reproduced rows next to the claim it validates.
+"""
+
+
+def test_bench_ext_cache_isolation(record):
+    result = record("ext_cache_isolation", scale=0.3)
+    assert result.derived["pollution_overhead_pct"] > 0

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Section 8: reallocating CP CPUs to DP.
+
+Runs the ext_dp_boost experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_ext_dp_boost(record):
+    result = record("ext_dp_boost", scale=0.1)
+    assert result.derived["iops_gain_pct"] > 10

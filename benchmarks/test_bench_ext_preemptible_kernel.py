@@ -1,0 +1,10 @@
+"""Benchmark regenerating the Section 8 always-preemptible kernel context.
+
+Runs the ext_preemptible_kernel experiment end to end at a reduced scale and prints the
+reproduced rows next to the claim it validates.
+"""
+
+
+def test_bench_ext_preemptible_kernel(record):
+    result = record("ext_preemptible_kernel", scale=0.3)
+    assert result.derived["max_latency_improvement"] > 2.0

@@ -1,0 +1,10 @@
+"""Benchmark regenerating the Section 9 probe-fusion optimization.
+
+Runs the ext_probe_fusion experiment end to end at a reduced scale and prints the
+reproduced rows next to the claim it validates.
+"""
+
+
+def test_bench_ext_probe_fusion(record):
+    result = record("ext_probe_fusion", scale=0.25)
+    assert result.derived["premature_rate_fused"] <= result.derived["premature_rate_plain"]

@@ -1,0 +1,11 @@
+"""Benchmark regenerating the Section 6.6 production soak.
+
+Runs the ext_production_soak experiment end to end at a reduced scale and
+prints both SLO scores next to the paper's deployment claim.
+"""
+
+
+def test_bench_ext_production_soak(record):
+    result = record("ext_production_soak", scale=0.2)
+    assert result.derived["dp_p999_vs_baseline"] < 1.10
+    assert result.derived["startup_speedup"] > 1.0

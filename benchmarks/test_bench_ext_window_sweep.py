@@ -1,0 +1,11 @@
+"""Benchmark regenerating the Observation 4 window-vs-switch sensitivity sweep.
+
+Runs the ext_window_sweep experiment end to end at a reduced scale: latency
+hiding must hold exactly while the preprocessing window covers the ~2 us
+vCPU switch cost, and leak below it.
+"""
+
+
+def test_bench_ext_window_sweep(record):
+    result = record("ext_window_sweep", scale=0.2)
+    assert result.derived["worst_added_qwait_covered_us"] < 0.5

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 11: CP execution time vs concurrency.
+
+Runs the fig11 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig11(record):
+    result = record("fig11", scale=0.34)
+    assert result.rows[-1]["speedup"] > 1.5

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 12: netperf tcp_crr across virtualization designs.
+
+Runs the fig12 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig12(record):
+    result = record("fig12", scale=0.1)
+    by = {r["system"]: r["cps"] for r in result.rows}
+    assert by["type2"] < by["taichi-vdp"] < by["baseline"] * 0.99
+    assert by["taichi"] > by["baseline"] * 0.97

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 13: fio IOPS across virtualization designs.
+
+Runs the fig13 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig13(record):
+    result = record("fig13", scale=0.1)
+    by = {r["system"]: r["iops"] for r in result.rows}
+    assert by["type2"] < by["taichi-vdp"] < by["baseline"] * 0.99

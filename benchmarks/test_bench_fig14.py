@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 14: normalized DP performance suite.
+
+Runs the fig14 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig14(record):
+    result = record("fig14", scale=0.1)
+    assert abs(result.derived["avg_overhead_pct"]) < 4.0

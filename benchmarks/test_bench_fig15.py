@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 15: MySQL under sysbench.
+
+Runs the fig15 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig15(record):
+    result = record("fig15", scale=0.1)
+    assert abs(result.derived["avg_overhead_pct"]) < 5.0

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 16: Nginx HTTP/HTTPS requests per second.
+
+Runs the fig16 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig16(record):
+    result = record("fig16", scale=0.1)
+    assert abs(result.derived["avg_overhead_pct"]) < 5.0

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 17: VM startup with/without Tai Chi.
+
+Runs the fig17 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig17(record):
+    result = record("fig17", scale=0.3)
+    assert all(r["reduction"] > 1.0 for r in result.rows)

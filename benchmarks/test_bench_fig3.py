@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 3: CDF of data-plane CPU utilization.
+
+Runs the fig3 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig3(record):
+    result = record("fig3", scale=0.1)
+    assert result.derived["fraction_below_32.5pct"] > 0.99

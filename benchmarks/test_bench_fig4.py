@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 4: non-preemptible routine latency spike.
+
+Runs the fig4 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig4(record):
+    result = record("fig4", scale=0.5)
+    assert result.derived["spike_vs_clean"] > 50

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 5: non-preemptible routine duration census.
+
+Runs the fig5 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig5(record):
+    result = record("fig5", scale=0.1)
+    assert 0.92 < result.derived["fraction_1_to_5ms"] < 0.97

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 6: I/O preprocessing breakdown.
+
+Runs the fig6 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_fig6(record):
+    result = record("fig6", scale=0.5)
+    assert result.derived["window_hides_switch"]

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table 1: co-scheduling mechanism comparison.
+
+Runs the table1 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_table1(record):
+    result = record("table1", scale=0.2)
+    assert result.derived["kernel_preemption_ms"] > 0.5
+    assert result.derived["taichi_preemption_us_p50"] < 100

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Table 2: virtualization architectures compared.
+
+Runs the table2 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_table2(record):
+    result = record("table2", scale=0.1)
+    rows = {r["architecture"]: r for r in result.rows}
+    taichi = next(v for k, v in rows.items() if "hybrid" in k)
+    assert taichi["os_count"] == 1

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table 5: RTT across three mechanisms.
+
+Runs the table5 experiment end to end at a reduced scale and prints the
+reproduced rows next to the paper's reference values.
+"""
+
+
+def test_bench_table5(record):
+    result = record("table5", scale=0.1)
+    assert result.derived["taichi_avg_vs_baseline"] < 1.05
+    assert result.derived["noprobe_max_vs_baseline"] > 2.0

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Deploy Tai Chi on a custom SmartNIC: a BlueField-3-like 16-core board.
+
+Demonstrates the cross-platform claim: the framework only needs CPUs with
+virtualization support and a programmable accelerator exposing the
+workload-probe hook — both parameters of :class:`BoardConfig`.  Also shows
+the Section 8 inverse adaptation: shrinking the CP partition to grow DP
+throughput while CP work rides on harvested idle cycles.
+
+Run:  python examples/custom_smartnic.py
+"""
+
+from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
+from repro.hw import AcceleratorParams, BoardConfig
+from repro.sim import MILLISECONDS
+from repro.workloads import run_sockperf_tcp, run_synth_cp
+
+BLUEFIELD_LIKE = dict(
+    total_cpus=16,
+    pcie_bandwidth_gbps=126.0,          # Gen4 x8
+    accelerator=AcceleratorParams(preprocess_ns=2_200, transfer_ns=400),
+)
+
+
+def throughput(deployment_cls, config, label):
+    deployment = deployment_cls(seed=9, board_config=config)
+    deployment.warmup()
+    result = run_sockperf_tcp(deployment, 40 * MILLISECONDS)
+    print(f"{label:34s} {result['cps']:>12,.0f} conn/s")
+    return result["cps"]
+
+
+def main():
+    print("BlueField-3-like board: 16 ARM cores, faster accelerator\n")
+
+    standard = BoardConfig(dp_cpus=12, cp_cpus=4, **BLUEFIELD_LIKE)
+    boosted = BoardConfig(dp_cpus=14, cp_cpus=2, **BLUEFIELD_LIKE)
+
+    base = throughput(StaticPartitionDeployment, standard,
+                      "static 12 DP / 4 CP")
+    boost = throughput(TaiChiDeployment, boosted,
+                       "Tai Chi 14 DP / 2 CP (Section 8)")
+    print(f"\nDP throughput gain from repartitioning: "
+          f"{(boost / base - 1) * 100:+.1f}%")
+
+    print("\nCP sanity check (8 concurrent 50 ms tasks):")
+    cp_static = run_synth_cp(
+        StaticPartitionDeployment(seed=9, board_config=standard), 8, rounds=1)
+    cp_boost = run_synth_cp(
+        TaiChiDeployment(seed=9, board_config=boosted), 8, rounds=1)
+    print(f"  static 4-CPU CP partition : {cp_static['avg_exec_ms']:6.1f} ms avg")
+    print(f"  Tai Chi 2-CPU + harvested : {cp_boost['avg_exec_ms']:6.1f} ms avg")
+    print("\nCP performance holds despite half the dedicated CPUs, because")
+    print("idle data-plane cycles back the vCPUs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without network access.
+
+``pip install -e .`` needs the ``wheel`` package to build PEP 660 editable
+wheels; this offline environment does not ship it, so ``python setup.py
+develop`` (or the .pth fallback below) provides the editable install.
+"""
+
+from setuptools import setup
+
+setup()

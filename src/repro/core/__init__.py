@@ -1,0 +1,46 @@
+"""Tai Chi: the paper's primary contribution.
+
+The framework co-schedules control-plane tasks and data-plane services on
+SmartNIC CPUs through hybrid virtualization (Section 4):
+
+* :class:`~repro.core.vcpu_scheduler.VCPUScheduler` — softirq-based
+  pCPU/vCPU context switching with an adaptive time slice and lock-safe
+  CP-to-DP preemption;
+* :class:`~repro.core.sw_probe.SoftwareWorkloadProbe` — the adaptive
+  empty-poll-threshold yielding algorithm hooked into DP poll loops;
+* :class:`~repro.core.ipi_orchestrator.UnifiedIPIOrchestrator` — IPI
+  interception/routing that lets vCPUs live in the OS as native CPUs;
+* :class:`~repro.core.taichi.TaiChi` — the deployment object wiring all of
+  the above onto a :class:`~repro.hw.board.SmartNIC`.
+
+Typical use::
+
+    board = SmartNIC(env)
+    taichi = TaiChi(board)
+    taichi.install()
+    for service in deploy_dp_services(board, "net"):
+        taichi.attach_dp_service(service)
+    # CP tasks now simply bind to taichi.cp_affinity()
+"""
+
+from repro.core.audit import AuditRecord, AuditSession, InstructionAuditor
+from repro.core.config import TaiChiConfig
+from repro.core.ipi_orchestrator import UnifiedIPIOrchestrator
+from repro.core.preemptible_context import PreemptibleKernelContext
+from repro.core.repartition import DynamicRepartitioner
+from repro.core.sw_probe import SoftwareWorkloadProbe
+from repro.core.taichi import TaiChi
+from repro.core.vcpu_scheduler import VCPUScheduler
+
+__all__ = [
+    "AuditRecord",
+    "AuditSession",
+    "DynamicRepartitioner",
+    "InstructionAuditor",
+    "PreemptibleKernelContext",
+    "SoftwareWorkloadProbe",
+    "TaiChi",
+    "TaiChiConfig",
+    "UnifiedIPIOrchestrator",
+    "VCPUScheduler",
+]

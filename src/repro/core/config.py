@@ -1,0 +1,63 @@
+"""Tai Chi configuration knobs."""
+
+from dataclasses import dataclass, field
+
+from repro.sim.units import MICROSECONDS
+from repro.virt.costs import VirtCosts
+
+
+@dataclass
+class TaiChiConfig:
+    """All tunables of the framework, with the paper's defaults.
+
+    ``initial_slice_ns`` is the 50 us starting vCPU time slice of
+    Section 4.1, doubled on timeslice-expiry VM-exits (sustained DP
+    idleness) up to ``max_slice_ns`` and reset by hardware-probe exits.
+    The empty-poll threshold moves the opposite way (Section 4.3):
+    halved when slices expire unused, doubled on false-positive yields.
+    """
+
+    n_vcpus: int = 8
+
+    # Adaptive vCPU time slice (Section 4.1).  ``adaptive_slice=False``
+    # pins slices at ``initial_slice_ns`` (the ablated "fixed" design the
+    # paper argues against).
+    initial_slice_ns: int = 50 * MICROSECONDS
+    max_slice_ns: int = 800 * MICROSECONDS
+    adaptive_slice: bool = True
+
+    # Adaptive empty-poll threshold (Section 4.3).  ``adaptive_threshold=
+    # False`` pins the threshold at ``initial_threshold`` (the "naive
+    # approach uses a fixed threshold N" strawman).
+    initial_threshold: int = 64
+    min_threshold: int = 8
+    max_threshold: int = 4096
+    adaptive_threshold: bool = True
+
+    # Hardware co-design.
+    hw_probe_enabled: bool = True
+    posted_interrupts: bool = True
+
+    # Section 9 (future work) features, off by default to match the paper's
+    # evaluated configuration.
+    # probe_fusion: the software probe also consults the accelerator's
+    # in-flight packet counts before yielding — a "multi-dimensional
+    # assessment of DP CPU idle status" that avoids false-positive yields
+    # for traffic already inside the preprocessing pipeline.
+    probe_fusion: bool = False
+    # cache_isolation: partition cache/TLB between vCPU slices and DP
+    # (CAT-style), removing pollution at the cost of a small per-switch
+    # reconfiguration overhead.
+    cache_isolation: bool = False
+    isolation_overhead_ns: int = 300
+
+    costs: VirtCosts = field(default_factory=VirtCosts)
+
+    def __post_init__(self):
+        if self.initial_slice_ns <= 0:
+            raise ValueError("initial_slice_ns must be positive")
+        if self.max_slice_ns < self.initial_slice_ns:
+            raise ValueError("max_slice_ns must be >= initial_slice_ns")
+        if not (0 < self.min_threshold <= self.initial_threshold
+                <= self.max_threshold):
+            raise ValueError("thresholds must satisfy min <= initial <= max")

@@ -1,0 +1,46 @@
+"""Always-preemptible kernel-space contexts (Section 8).
+
+The classic priority-inversion problem: a high-priority realtime task
+cannot preempt a low-priority task that is executing a non-preemptible
+kernel routine.  Tai Chi's hybrid virtualization gives Linux an
+always-preemptible execution context for free: wrap the low-priority task
+in a vCPU, and VM-exit cuts through any kernel routine at microsecond
+granularity while the routine's remaining work is frozen in place.
+
+:class:`PreemptibleKernelContext` packages that pattern as an API: submit
+a kernel-heavy task, and it runs in vCPU context; realtime work on the
+same physical CPUs observes microsecond wakeup latency regardless of what
+the wrapped task is doing in the kernel.
+"""
+
+
+class PreemptibleKernelContext:
+    """Runs kernel-heavy low-priority tasks in always-preemptible contexts."""
+
+    def __init__(self, taichi):
+        self.taichi = taichi
+        self.kernel = taichi.board.kernel
+        self.submitted = []
+
+    def submit(self, name, body, nice_weight=1.0):
+        """Spawn ``body`` confined to vCPU contexts.
+
+        The thread's non-preemptible kernel routines can still execute —
+        but only while a vCPU is backed, and the backing can be revoked at
+        any instant, so no physical CPU is ever held hostage by them.
+        """
+        thread = self.kernel.spawn(
+            name, body,
+            affinity={vcpu.cpu_id for vcpu in self.taichi.vcpus},
+            nice_weight=nice_weight,
+        )
+        self.submitted.append(thread)
+        return thread
+
+    def wrap_affinity(self, thread):
+        """Retarget an existing thread into the preemptible domain."""
+        self.kernel.set_affinity(
+            thread, {vcpu.cpu_id for vcpu in self.taichi.vcpus}
+        )
+        self.submitted.append(thread)
+        return thread

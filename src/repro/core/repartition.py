@@ -1,0 +1,98 @@
+"""Dynamic CP/DP repartitioning (Section 8, "Enhanced data-plane performance").
+
+In low-density deployments the control plane needs fewer dedicated CPUs;
+Tai Chi can reassign CP pCPUs to the data plane at runtime and let CP work
+ride on harvested idle DP cycles instead.  The paper's proof of concept
+reallocates 50 % of the CP partition and gains 39 % peak IOPS / 43 % CPS
+with CP performance held at baseline.
+
+The repartitioner keeps its own view of which physical CPUs belong to each
+plane (it mutates the live system, not the immutable board config), spawns
+or retires DP services, and keeps the vCPU scheduler's CP-fallback list in
+sync.
+"""
+
+from repro.dp.service import DPService
+
+
+class DynamicRepartitioner:
+    """Moves physical CPUs between the CP and DP partitions at runtime."""
+
+    def __init__(self, deployment):
+        if deployment.taichi is None:
+            raise ValueError("dynamic repartitioning requires a Tai Chi deployment")
+        self.deployment = deployment
+        self.board = deployment.board
+        self.taichi = deployment.taichi
+        self.cp_cpus = list(deployment.board.cp_cpu_ids)
+        self.dp_cpus = [service.cpu_id for service in deployment.services]
+        self.moves = []
+
+    def cp_to_dp(self, count=1, queues_per_cpu=1):
+        """Reassign ``count`` CP pCPUs to the data plane.
+
+        Each moved CPU gets a fresh DP service (with its own accelerator
+        queues) wired into the Tai Chi probes.  Returns the new services.
+        """
+        if count >= len(self.cp_cpus):
+            raise ValueError(
+                f"cannot move {count} CPUs: the CP partition must keep at "
+                f"least one dedicated pCPU (has {len(self.cp_cpus)})"
+            )
+        new_services = []
+        for _ in range(count):
+            cpu_id = self.cp_cpus.pop()  # take from the partition's tail
+            index = len(self.dp_cpus)
+            queue_ids = []
+            for qidx in range(queues_per_cpu):
+                queue_id = (self.deployment.dp_kind, index, qidx)
+                self.board.make_rx_queue(queue_id, cpu_id)
+                queue_ids.append(queue_id)
+            service = DPService(
+                self.board, f"dp-{self.deployment.dp_kind}{index}", cpu_id,
+                queue_ids, params=self.deployment.dp_params,
+                kind=self.deployment.dp_kind,
+            )
+            self.taichi.attach_dp_service(service)
+            self.deployment.services.append(service)
+            self.dp_cpus.append(cpu_id)
+            self.moves.append(("cp->dp", cpu_id))
+            new_services.append(service)
+        self._sync()
+        return new_services
+
+    def dp_to_cp(self, count=1):
+        """Return ``count`` data-plane CPUs to the CP partition.
+
+        Retired services' queues are adopted by the remaining DP services
+        so no traffic is stranded.  Returns the freed CPU ids.
+        """
+        if count >= len(self.dp_cpus):
+            raise ValueError("the DP partition must keep at least one CPU")
+        freed = []
+        for _ in range(count):
+            service = self.deployment.services.pop()
+            cpu_id = self.dp_cpus.pop()
+            assert service.cpu_id == cpu_id
+            survivor = self.deployment.services[0]
+            for queue_id in list(service.queue_ids):
+                survivor.adopt_queue(queue_id)
+            service.shutdown()
+            self.taichi.scheduler.unregister_service(service)
+            self.cp_cpus.append(cpu_id)
+            self.moves.append(("dp->cp", cpu_id))
+            freed.append(cpu_id)
+        self._sync()
+        return freed
+
+    def _sync(self):
+        """Propagate the new partition to the scheduler and CP affinity."""
+        self.taichi.scheduler.set_cp_pcpus(self.cp_cpus)
+        affinity = set(self.taichi.vcpu_ids()) | set(self.cp_cpus)
+        self.deployment.cp_affinity = affinity
+
+    def __repr__(self):
+        return (
+            f"<DynamicRepartitioner dp={len(self.dp_cpus)} "
+            f"cp={len(self.cp_cpus)} moves={len(self.moves)}>"
+        )

@@ -1,0 +1,77 @@
+"""The Tai Chi deployment object: wires the framework onto a SmartNIC."""
+
+from repro.core.config import TaiChiConfig
+from repro.core.ipi_orchestrator import UnifiedIPIOrchestrator
+from repro.core.sw_probe import SoftwareWorkloadProbe
+from repro.core.vcpu_scheduler import VCPUScheduler
+
+
+class TaiChi:
+    """Hybrid-virtualization scheduler for one SmartNIC board.
+
+    Usage mirrors the production deployment recipe of Section 5: install
+    the framework (creates/boots vCPUs, hooks IPIs, registers the softirq
+    handler and the hardware-probe IRQ handler), attach each DP service
+    (the <10-line ``notify_idle_DP_CPU_cycles`` integration), then bind CP
+    tasks to :meth:`cp_affinity` — standard affinity, zero CP code change.
+    """
+
+    def __init__(self, board, config=None):
+        self.board = board
+        self.env = board.env
+        self.config = config or TaiChiConfig()
+
+        self.scheduler = VCPUScheduler(board, self.config)
+        self.sw_probe = SoftwareWorkloadProbe(self.config, self.scheduler)
+        self.scheduler.sw_probe = self.sw_probe
+        self.orchestrator = UnifiedIPIOrchestrator(
+            board.kernel, self.scheduler, self.config.costs,
+            posted_interrupts=self.config.posted_interrupts,
+        )
+        self.vcpus = []
+        self.installed = False
+
+    def install(self, n_vcpus=None):
+        """Deploy the framework; returns the created vCPUs."""
+        if self.installed:
+            raise RuntimeError("Tai Chi is already installed on this board")
+        self.scheduler.install()
+        self.orchestrator.install()
+        count = n_vcpus if n_vcpus is not None else self.config.n_vcpus
+        self.vcpus = self.orchestrator.register_vcpus(count)
+        self.installed = True
+        return self.vcpus
+
+    def attach_dp_service(self, service):
+        """Hook a DP service's idle notifications into the framework."""
+        service.attach_idle_notifier(self.sw_probe)
+        service.probe_fusion = self.config.probe_fusion
+        self.scheduler.register_service(service)
+
+    def cp_affinity(self):
+        """CPU set for CP tasks: all vCPUs plus the dedicated CP pCPUs."""
+        return {vcpu.cpu_id for vcpu in self.vcpus} | set(self.board.cp_cpu_ids)
+
+    def vcpu_ids(self):
+        return [vcpu.cpu_id for vcpu in self.vcpus]
+
+    def stats(self):
+        """Aggregate framework statistics for experiment reports."""
+        return {
+            "scheduler": self.scheduler.stats(),
+            "sw_probe": self.sw_probe.stats(),
+            "ipi": self.orchestrator.stats(),
+            "vcpus": {
+                vcpu.cpu_id: {
+                    "busy_ns": vcpu.busy_ns,
+                    "backed_ns": vcpu.backed_ns,
+                    "frozen_ns": vcpu.frozen_ns,
+                    "revocations": vcpu.revocations,
+                }
+                for vcpu in self.vcpus
+            },
+        }
+
+    def __repr__(self):
+        state = "installed" if self.installed else "pending"
+        return f"<TaiChi {state} vcpus={len(self.vcpus)}>"

@@ -1,0 +1,338 @@
+"""The vCPU scheduler: softirq-based context switching (Section 4.1).
+
+When the software workload probe reports an idle DP CPU, the scheduler
+picks a runnable vCPU round-robin and raises the dedicated
+``TAICHI_VCPU`` softirq on that CPU.  The softirq handler — running on the
+idle CPU's own executor — performs VM-enter, lends the physical CPU to the
+vCPU for one adaptive time slice, and takes it back on whichever happens
+first: slice expiry, a hardware-probe preempt IRQ, or the vCPU halting.
+
+Exit reasons drive two feedback loops: the per-vCPU adaptive time slice
+(double on expiry, reset on probe IRQ) and — through the software probe —
+the per-service empty-poll threshold.  Lock-safe CP-to-DP preemption
+(immediately re-backing a preempted lock-holder elsewhere) guarantees
+forward progress for spinlock owners.
+"""
+
+from collections import deque
+
+from repro.hw.probe import CpuIoState
+from repro.kernel.softirq import SoftirqVector
+from repro.virt.grant import BackingGrant
+from repro.virt.vmexit import VMExitReason
+
+
+class VCPUScheduler:
+    """Maps runnable vCPUs onto idle physical CPUs."""
+
+    def __init__(self, board, config):
+        self.board = board
+        self.env = board.env
+        self.config = config
+        self.kernel = board.kernel
+        self.hw_probe = board.hw_probe if config.hw_probe_enabled else None
+
+        self.vcpus = []
+        self._runnable = deque()          # round-robin queue of vCPUs with work
+        self._runnable_set = set()
+        # vCPUs handed to an in-flight softirq dispatch but not yet backed;
+        # they must not be re-dispatched from another CPU in the meantime.
+        self._reserved = set()
+        self.active = {}                  # pcpu_id -> BackingGrant
+        self._slice_ns = {}               # vcpu -> adaptive slice
+        self._services_by_cpu = {}        # pcpu_id -> DPService
+        self._cp_pcpus = list(board.cp_cpu_ids)
+        self._cp_pcpu_rr = 0              # round-robin index for lock-safe fallback
+        self.sw_probe = None              # wired by TaiChi
+
+        # Statistics.
+        self.slices_run = 0
+        self.exits_by_reason = {reason: 0 for reason in VMExitReason}
+        self.lock_safe_migrations = 0
+        self.switch_overhead_ns = 0
+        # Slices revoked by the hardware probe almost immediately after
+        # entering: pure waste, the false-positive yields Section 4.3 (and
+        # the Section 9 probe-fusion optimization) are about.
+        self.premature_exits = 0
+        self.premature_exit_window_ns = 10_000
+
+    # -- Wiring ---------------------------------------------------------------------
+
+    def install(self):
+        """Register the softirq handler and the hardware-probe IRQ handler."""
+        self.kernel.softirq.register(SoftirqVector.TAICHI_VCPU, self._slice_handler)
+        self.kernel.idle_callbacks.append(self._on_pcpu_idle)
+        for cpu in self.kernel.physical_cpus():
+            cpu.work_callback = self._on_pcpu_pressure
+        if self.hw_probe is not None:
+            self.hw_probe.set_irq_handler(self._on_probe_irq)
+
+    def add_vcpu(self, vcpu):
+        self.vcpus.append(vcpu)
+        self._slice_ns[vcpu] = self.config.initial_slice_ns
+        vcpu.work_callback = self._on_vcpu_work
+
+    def register_service(self, service):
+        """Associate a DP service with its CPU (pollution + idle queries)."""
+        self._services_by_cpu[service.cpu_id] = service
+
+    def unregister_service(self, service):
+        """Detach a retired DP service (dynamic repartitioning)."""
+        if self._services_by_cpu.get(service.cpu_id) is service:
+            del self._services_by_cpu[service.cpu_id]
+
+    def set_cp_pcpus(self, cpu_ids):
+        """Replace the dedicated CP pCPU list (dynamic repartitioning)."""
+        self._cp_pcpus = list(cpu_ids)
+        self._cp_pcpu_rr = 0
+
+    # -- Entry points ------------------------------------------------------------------
+
+    def on_dp_idle(self, cpu_id):
+        """Software probe callback: ``cpu_id`` has idle cycles to donate."""
+        self._try_dispatch(cpu_id)
+
+    def _on_vcpu_work(self, vcpu):
+        """A vCPU gained runnable threads; try to find it an idle DP CPU."""
+        if vcpu.is_backed:
+            return
+        self._mark_runnable(vcpu)
+        self._dispatch_to_any_idle()
+
+    def _cpu_is_donatable(self, cpu_id):
+        """Can ``cpu_id`` host a vCPU slice right now?
+
+        Requires an idle-blocked DP service, no active grant, and no
+        realtime (DP) thread already waiting for or holding the CPU.
+        """
+        service = self._services_by_cpu.get(cpu_id)
+        if service is None or not service.is_idle_blocked:
+            return False
+        if cpu_id in self.active:
+            return False
+        pcpu = self.kernel.cpus[cpu_id]
+        if pcpu.runqueue.has_realtime:
+            return False
+        from repro.kernel.thread import ThreadState
+
+        # The DP thread may still be registered as `current` right after it
+        # blocked (softirqs run in its context) — that is donatable.  A
+        # current thread that is READY or RUNNING (e.g. mid context-switch
+        # charge) is about to use the CPU: hands off.
+        current = pcpu.current
+        return current is None or current.state in (
+            ThreadState.BLOCKED, ThreadState.EXITED)
+
+    def _dispatch_to_any_idle(self):
+        """Donate any currently idle DP CPU to the runnable queue's head."""
+        for cpu_id in self._services_by_cpu:
+            if self._cpu_is_donatable(cpu_id):
+                if self._try_dispatch(cpu_id):
+                    return True
+        return False
+
+    def _on_pcpu_idle(self, pcpu):
+        """An idle dedicated CP pCPU can back a starving runnable vCPU.
+
+        This is the forward-progress guarantee: even when the data plane
+        never yields, vCPUs carrying frozen CP tasks eventually execute on
+        the CP partition.
+        """
+        if pcpu.is_virtual or pcpu.cpu_id in self._services_by_cpu:
+            return False
+        if pcpu.cpu_id in self.active:
+            return False
+        return self._try_dispatch(pcpu.cpu_id)
+
+    def _on_pcpu_pressure(self, pcpu):
+        """Native work arrived on a dedicated CP pCPU hosting a slice.
+
+        CP pCPUs exist for CP threads; a donated slice yields to them
+        immediately.  DP CPUs are exempt — there, resumption is governed by
+        the hardware probe (or slice expiry in its absence), as in the real
+        system where the poll loop is simply not running.
+        """
+        if pcpu.cpu_id in self._services_by_cpu:
+            return
+        grant = self.active.get(pcpu.cpu_id)
+        if grant is not None and grant.active:
+            grant.request_revoke(VMExitReason.EXTERNAL)
+
+    def _on_probe_irq(self, cpu_id):
+        """Hardware probe preempt IRQ: traffic is heading to ``cpu_id``."""
+        grant = self.active.get(cpu_id)
+        if grant is not None and grant.active:
+            grant.request_revoke(VMExitReason.HW_PROBE_IRQ)
+
+    # -- Runnable-queue maintenance -------------------------------------------------------
+
+    def _mark_runnable(self, vcpu):
+        if vcpu in self._runnable_set or vcpu.is_backed or vcpu in self._reserved:
+            return
+        if vcpu.runqueue.is_empty and vcpu.current is None:
+            return
+        self._runnable.append(vcpu)
+        self._runnable_set.add(vcpu)
+
+    def _next_runnable(self):
+        """Round-robin pick of the next vCPU with pending work."""
+        while self._runnable:
+            vcpu = self._runnable.popleft()
+            self._runnable_set.discard(vcpu)
+            if vcpu.is_backed or vcpu in self._reserved:
+                continue
+            if vcpu.runqueue.is_empty and vcpu.current is None:
+                continue
+            return vcpu
+        return None
+
+    def _try_dispatch(self, cpu_id, vcpu=None):
+        if cpu_id in self.active:
+            return False
+        if vcpu is not None and (vcpu.is_backed or vcpu in self._reserved):
+            return False
+        candidate = vcpu if vcpu is not None else self._next_runnable()
+        if candidate is None:
+            return False
+        self._reserved.add(candidate)
+        pcpu = self.kernel.cpus[cpu_id]
+        self.kernel.softirq.raise_softirq(
+            pcpu, SoftirqVector.TAICHI_VCPU, candidate
+        )
+        return True
+
+    # -- The softirq handler (runs on the donor CPU's executor) ---------------------------
+
+    def _slice_handler(self, pcpu, vcpu):
+        costs = self.config.costs
+        if vcpu is None:
+            return
+        if not vcpu.online or vcpu.is_backed or (
+                vcpu.runqueue.is_empty and vcpu.current is None):
+            self._reserved.discard(vcpu)
+            return
+        service = self._services_by_cpu.get(pcpu.cpu_id)
+        if service is not None:
+            can_lend = self._cpu_is_donatable(pcpu.cpu_id)
+        else:
+            # Dedicated CP pCPU (lock-safe fallback target): always usable.
+            can_lend = pcpu.cpu_id not in self.active
+        if not can_lend:
+            # Don't strand the candidate: put it back and look elsewhere.
+            self._reserved.discard(vcpu)
+            self._mark_runnable(vcpu)
+            self._dispatch_to_any_idle()
+            return
+
+        slice_ns = self._slice_ns.get(vcpu, self.config.initial_slice_ns)
+        grant = BackingGrant(self.env, pcpu, vcpu, slice_ns)
+        self.active[pcpu.cpu_id] = grant
+        if self.hw_probe is not None:
+            self.hw_probe.set_state(pcpu.cpu_id, CpuIoState.V_STATE)
+
+        self.slices_run += 1
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.record(self.env.now, pcpu.cpu_id, "vmenter",
+                          vcpu=vcpu.cpu_id, slice_ns=slice_ns)
+        yield from pcpu.consume(costs.vmenter_ns)
+        vcpu.set_backing(grant)
+        self._reserved.discard(vcpu)  # is_backed now guards re-dispatch
+
+        ended = self.env.any_of([grant.expired, grant.revoke_request, grant.halted])
+        yield from pcpu.await_event(ended, busy=False)
+
+        reason = grant.resolve_end_reason()
+        vcpu.revoke(reason)
+        if self.hw_probe is not None:
+            self.hw_probe.set_state(pcpu.cpu_id, CpuIoState.P_STATE)
+        self.active.pop(pcpu.cpu_id, None)
+        exit_cost = costs.vmexit_ns
+        if self.config.cache_isolation:
+            # CAT-style way partitioning: no pollution of DP working sets,
+            # paid for with a small per-switch reconfiguration cost.
+            exit_cost += self.config.isolation_overhead_ns
+        yield from pcpu.consume(exit_cost)
+        if tracer is not None:
+            tracer.record(self.env.now, pcpu.cpu_id, "vmexit",
+                          vcpu=vcpu.cpu_id, reason=reason.value)
+        self.switch_overhead_ns += costs.vmenter_ns + exit_cost
+        self.exits_by_reason[reason] += 1
+        if (reason is VMExitReason.HW_PROBE_IRQ
+                and self.env.now - grant.granted_at_ns
+                <= self.premature_exit_window_ns):
+            self.premature_exits += 1
+
+        if service is not None and not self.config.cache_isolation:
+            service.note_vcpu_ran()
+        self._adapt_slice(vcpu, reason)
+        if self.sw_probe is not None and service is not None:
+            self.sw_probe.adapt(service, reason)
+        self._post_slice(pcpu, vcpu, reason, service)
+        if service is not None:
+            # Hand the CPU back to the poll loop; re-crossing the (small,
+            # adapted) empty-poll threshold re-donates it.
+            service.resume_polling()
+
+    # -- Post-slice policy ------------------------------------------------------------------
+
+    def _post_slice(self, pcpu, vcpu, reason, service):
+        has_work = not (vcpu.runqueue.is_empty and vcpu.current is None)
+        if not has_work:
+            return
+
+        if vcpu.holds_any_lock:
+            # Safe CP-to-DP scheduling in lock context (Section 4.1): the
+            # descheduled vCPU holds a spinlock others may spin on; waiting
+            # in the runnable queue would let the whole convoy burn CPUs
+            # while the holder dribbles forward.  Re-back it immediately —
+            # on another idle DP pCPU if one exists, else on a dedicated CP
+            # pCPU round-robin — whatever ended the slice.
+            self.lock_safe_migrations += 1
+            target = self._find_idle_dp_cpu(exclude=pcpu.cpu_id)
+            if target is not None and self._try_dispatch(target, vcpu=vcpu):
+                return
+            for _ in range(len(self._cp_pcpus)):
+                if self._try_dispatch(self._next_cp_pcpu(), vcpu=vcpu):
+                    return
+            # Every fallback target is occupied right now; queue the vCPU
+            # at the front so the next free CPU resumes the lock holder.
+            self._runnable.appendleft(vcpu)
+            self._runnable_set.add(vcpu)
+            return
+
+        self._mark_runnable(vcpu)
+
+    def _find_idle_dp_cpu(self, exclude=None):
+        for cpu_id in self._services_by_cpu:
+            if cpu_id != exclude and self._cpu_is_donatable(cpu_id):
+                return cpu_id
+        return None
+
+    def _next_cp_pcpu(self):
+        cp_ids = self._cp_pcpus
+        self._cp_pcpu_rr = (self._cp_pcpu_rr + 1) % len(cp_ids)
+        return cp_ids[self._cp_pcpu_rr]
+
+    # -- Adaptive time slice -------------------------------------------------------------------
+
+    def _adapt_slice(self, vcpu, reason):
+        if not self.config.adaptive_slice:
+            return
+        current = self._slice_ns.get(vcpu, self.config.initial_slice_ns)
+        if reason is VMExitReason.TIMESLICE_EXPIRED:
+            self._slice_ns[vcpu] = min(current * 2, self.config.max_slice_ns)
+        elif reason is VMExitReason.HW_PROBE_IRQ:
+            self._slice_ns[vcpu] = self.config.initial_slice_ns
+
+    def slice_for(self, vcpu):
+        return self._slice_ns.get(vcpu, self.config.initial_slice_ns)
+
+    def stats(self):
+        return {
+            "slices_run": self.slices_run,
+            "exits": {r.value: c for r, c in self.exits_by_reason.items() if c},
+            "lock_safe_migrations": self.lock_safe_migrations,
+            "switch_overhead_ns": self.switch_overhead_ns,
+            "premature_exits": self.premature_exits,
+        }

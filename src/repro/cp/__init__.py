@@ -1,0 +1,39 @@
+"""Control-plane tasks.
+
+CP tasks (Section 2.3) fall into three families, all modeled here:
+
+* **device management** (:mod:`repro.cp.device_mgmt`) — the VM-creation
+  workflow whose latency defines the VM-startup SLO: parse the request,
+  initialize emulated devices under driver spinlocks (ms-scale
+  non-preemptible routines), then notify QEMU;
+* **performance monitoring** (:mod:`repro.cp.monitor`) — periodic metric
+  collection and log writes, a steady source of syscalls;
+* **CSP orchestration** (:mod:`repro.cp.orchestration`) — the request
+  source issuing VM-create storms at a given instance density.
+
+:mod:`repro.cp.task` provides the synthetic CP task generator (the paper's
+``synth_cp`` benchmark) and the non-preemptible-routine duration sampler
+calibrated to Figure 5.
+"""
+
+from repro.cp.device_mgmt import DeviceManager, DeviceMgmtParams, VMCreateRequest
+from repro.cp.monitor import MonitorTask
+from repro.cp.orchestration import Orchestrator
+from repro.cp.task import (
+    CPTaskParams,
+    sample_nonpreemptible_ns,
+    spawn_synth_cp,
+    synthetic_cp_body,
+)
+
+__all__ = [
+    "CPTaskParams",
+    "DeviceManager",
+    "DeviceMgmtParams",
+    "MonitorTask",
+    "Orchestrator",
+    "VMCreateRequest",
+    "sample_nonpreemptible_ns",
+    "spawn_synth_cp",
+    "synthetic_cp_body",
+]

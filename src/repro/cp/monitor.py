@@ -1,0 +1,35 @@
+"""Performance-monitoring CP tasks: periodic collection plus log writes."""
+
+from repro.kernel import Compute, Sleep, Syscall
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+
+
+class MonitorTask:
+    """Collects SmartNIC metrics on a period and persists logs.
+
+    Each cycle: read counters (user compute), write a log record (syscall
+    with a short non-preemptible span).  A fleet of these provides the
+    steady background CP load present in every production node.
+    """
+
+    def __init__(self, board, name, affinity, period_ns=10 * MILLISECONDS,
+                 collect_ns=300 * MICROSECONDS, log_ns=150 * MICROSECONDS,
+                 rng=None):
+        self.board = board
+        self.env = board.env
+        self.name = name
+        self.period_ns = int(period_ns)
+        self.collect_ns = int(collect_ns)
+        self.log_ns = int(log_ns)
+        self.rng = rng or board.rng.stream(f"monitor-{name}")
+        self.cycles = 0
+        self.thread = board.kernel.spawn(name, self._body(),
+                                         affinity=set(affinity))
+
+    def _body(self):
+        while True:
+            jitter = self.rng.uniform(0.7, 1.3)
+            yield Compute(int(self.collect_ns * jitter))
+            yield Syscall(int(self.log_ns * jitter), name="log-write")
+            self.cycles += 1
+            yield Sleep(int(self.period_ns * self.rng.uniform(0.9, 1.1)))

@@ -1,0 +1,15 @@
+"""Data-plane services: DPDK/SPDK-like poll-mode processors.
+
+A :class:`~repro.dp.service.DPService` is a realtime thread pinned to one
+data-plane CPU, busy-polling one or more accelerator rx queues with
+``rte_eth_rx_burst`` semantics (Figure 9).  Consecutive empty polls are
+counted; crossing the (adaptive) threshold raises the
+``notify_idle_DP_CPU_cycles`` notification consumed by Tai Chi's software
+workload probe.  Packet completion differs per traffic kind: network
+packets leave via the NIC port or PCIe, storage submissions round-trip
+through a device-latency stage and a completion-queue poll.
+"""
+
+from repro.dp.service import DPService, DPServiceParams, deploy_dp_services
+
+__all__ = ["DPService", "DPServiceParams", "deploy_dp_services"]

@@ -1,0 +1,49 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each experiment registers itself with :mod:`repro.experiments.registry`
+under its paper id (``fig11``, ``table5``, ...) and returns an
+:class:`~repro.experiments.report.ExperimentResult` containing the rows it
+reproduces plus the paper's reference values for side-by-side comparison.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig11 --scale 0.5
+    python -m repro.experiments run all
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, register, run_experiment
+from repro.experiments.report import ExperimentResult, format_table
+
+# Importing the modules registers the experiments.
+from repro.experiments import (  # noqa: F401  (import-for-side-effect)
+    ablation_adaptive,
+    ext_features,
+    ext_production_soak,
+    ext_window_sweep,
+    fig2_motivation,
+    fig3_cpu_util_cdf,
+    fig4_spike_demo,
+    fig5_nonpreemptible,
+    fig6_breakdown,
+    fig11_cp_performance,
+    fig12_network_virt,
+    fig13_storage_virt,
+    fig14_dp_performance,
+    fig15_mysql,
+    fig16_nginx,
+    fig17_production,
+    table1_comparison,
+    table2_virtualization,
+    table5_rtt,
+    ext_dp_boost,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "get_experiment",
+    "register",
+    "run_experiment",
+]

@@ -1,0 +1,78 @@
+"""Command-line interface for the experiment harness."""
+
+import argparse
+import sys
+import time
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="taichi-experiments",
+        description="Reproduce the Tai Chi paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("exp_id", help="experiment id, e.g. fig11, or 'all'")
+    run_parser.add_argument("--scale", type=float, default=1.0,
+                            help="duration/size scale factor (default 1.0)")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--out", default=None,
+                            help="also append the report to this file")
+
+    validate_parser = sub.add_parser(
+        "validate", help="run all experiments and check the paper's shapes")
+    validate_parser.add_argument("--scale", type=float, default=1.0)
+    validate_parser.add_argument("--seed", type=int, default=0)
+    validate_parser.add_argument("--out", default=None,
+                                 help="write an EXPERIMENTS.md-style report")
+    validate_parser.add_argument("--only", default=None,
+                                 help="comma-separated experiment ids")
+
+    args = parser.parse_args(argv)
+    # Import here so `--help` stays fast.
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    if args.command == "validate":
+        from repro.experiments.validate import run_validation, write_experiments_md
+
+        exp_ids = args.only.split(",") if args.only else None
+        outcomes = run_validation(scale=args.scale, seed=args.seed,
+                                  exp_ids=exp_ids, progress=print)
+        failures = [outcome["id"] for outcome in outcomes
+                    if not all(ok for _, ok in outcome["checks"])]
+        if args.out:
+            write_experiments_md(args.out, outcomes, args.scale, args.seed)
+            print(f"wrote {args.out}")
+        if failures:
+            print(f"shape-check failures: {failures}")
+            return 1
+        print(f"all {len(outcomes)} experiments pass their shape checks")
+        return 0
+
+    if args.command == "list":
+        for exp_id in sorted(EXPERIMENTS):
+            entry = EXPERIMENTS[exp_id]
+            print(f"{exp_id:14s} {entry['paper_ref']:12s} {entry['title']}")
+        return 0
+
+    targets = sorted(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
+    reports = []
+    for exp_id in targets:
+        started = time.time()
+        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        elapsed = time.time() - started
+        text = result.to_text() + f"\n[{elapsed:.1f}s wall]"
+        print(text)
+        print()
+        reports.append(text)
+    if args.out:
+        with open(args.out, "a") as handle:
+            handle.write("\n\n".join(reports) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

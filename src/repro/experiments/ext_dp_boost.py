@@ -1,0 +1,73 @@
+"""Section 8 extension: inverse adaptation for data-plane throughput.
+
+In low-density scenarios Tai Chi's dynamic partitioning reallocates 50 %
+of the CP partition's physical CPUs to DP services (here 4 -> 2 CP CPUs,
+8 -> 10 DP CPUs).  The paper reports +39 % peak IOPS and +43 % CPS while
+CP performance stays at baseline by harvesting idle DP cycles.
+"""
+
+from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
+from repro.core import DynamicRepartitioner
+from repro.experiments.common import ratio, scaled_duration
+from repro.experiments.registry import register
+from repro.experiments.report import ExperimentResult
+from repro.sim.units import MILLISECONDS
+from repro.workloads import run_fio, run_sockperf_tcp, run_synth_cp
+
+
+def _boosted_deployment(seed, dp_kind="net"):
+    """A Tai Chi deployment after live cp->dp repartitioning (50% of CP)."""
+    deployment = TaiChiDeployment(seed=seed, dp_kind=dp_kind)
+    deployment.warmup()
+    DynamicRepartitioner(deployment).cp_to_dp(2)
+    return deployment
+
+
+@register("ext_dp_boost", "Reallocating CP CPUs to DP (Section 8)",
+          "Section 8, 'Enhanced data-plane performance'")
+def run(scale=1.0, seed=0):
+    duration = scaled_duration(50 * MILLISECONDS, scale)
+
+    base_storage = StaticPartitionDeployment(seed=seed, dp_kind="storage")
+    base_storage.warmup()
+    base_iops = run_fio(base_storage, duration)["iops"]
+    boost_iops = run_fio(_boosted_deployment(seed, "storage"), duration)["iops"]
+
+    base_net = StaticPartitionDeployment(seed=seed)
+    base_net.warmup()
+    base_cps = run_sockperf_tcp(base_net, duration)["cps"]
+    boost_cps = run_sockperf_tcp(_boosted_deployment(seed), duration)["cps"]
+
+    # CP sanity: with only 2 dedicated CP CPUs plus harvested DP cycles,
+    # CP execution should stay near the 4-CPU static baseline.
+    cp_base = run_synth_cp(StaticPartitionDeployment(seed=seed), 8, rounds=1)
+    cp_boost = run_synth_cp(_boosted_deployment(seed), 8, rounds=1)
+
+    rows = [
+        {"metric": "fio peak IOPS", "baseline_8dp": base_iops,
+         "boosted_10dp": boost_iops, "gain_pct": (ratio(boost_iops, base_iops) - 1) * 100},
+        {"metric": "sockperf CPS", "baseline_8dp": base_cps,
+         "boosted_10dp": boost_cps, "gain_pct": (ratio(boost_cps, base_cps) - 1) * 100},
+        {"metric": "synth_cp avg ms (8 tasks)", "baseline_8dp": cp_base["avg_exec_ms"],
+         "boosted_10dp": cp_boost["avg_exec_ms"],
+         "gain_pct": (1 - ratio(cp_boost["avg_exec_ms"], cp_base["avg_exec_ms"])) * 100},
+    ]
+    return ExperimentResult(
+        exp_id="ext_dp_boost",
+        title="Dynamic repartitioning boosts DP throughput without hurting CP",
+        paper_ref="Section 8",
+        rows=rows,
+        derived={
+            "iops_gain_pct": rows[0]["gain_pct"],
+            "cps_gain_pct": rows[1]["gain_pct"],
+        },
+        paper={
+            "iops_gain_pct": 39.0,
+            "cps_gain_pct": 43.0,
+            "note": (
+                "Paper gains exceed the +25% CPU increase because their DP "
+                "was partially port/queue-bound at 8 CPUs; our model is "
+                "CPU-bound so gains track the CPU ratio."
+            ),
+        },
+    )

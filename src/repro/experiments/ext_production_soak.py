@@ -1,0 +1,114 @@
+"""A production-style soak (Section 6.6, "Tai Chi in Production").
+
+The paper reports three years of deployment with *no I/O SLO violations*
+while VM-startup SLOs recovered.  This experiment runs a compressed "day
+in the life" of one node: bursty data-plane load, tenant latency probes,
+periodic VM-creation storms through the host/eNIC lifecycle, and the
+standing monitoring fleet — and scores both SLOs simultaneously:
+
+* DP SLO: tenant probe p99.9 latency must not regress vs the static
+  baseline under identical load ("no I/O SLO violations were reported");
+* CP SLO: fraction of VM startups within the startup SLO, plus the
+  average startup speedup.
+"""
+
+from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
+from repro.experiments.common import scaled_duration
+from repro.experiments.registry import register
+from repro.experiments.report import ExperimentResult
+from repro.hw.host import HostNode, VMSpec
+from repro.hw.packet import IORequest, PacketKind
+from repro.metrics import LatencyRecorder
+from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
+from repro.workloads.background import start_cp_background, start_dp_background
+
+
+def _soak(deployment_cls, duration_ns, seed):
+    deployment = deployment_cls(seed=seed)
+    start_dp_background(deployment, utilization=0.25)
+    start_cp_background(deployment, n_monitors=6, rolling_tasks=3)
+    deployment.warmup()
+    env = deployment.env
+    board = deployment.board
+    host = HostNode(deployment)
+
+    probe_latency = LatencyRecorder(name="tenant-probe")
+
+    def latency_probe():
+        rng = deployment.rng.stream("soak-probe")
+        while True:
+            queue = int(rng.integers(0, 8))
+            done = env.event()
+            done.callbacks.append(
+                lambda event: probe_latency.record(
+                    event.value.total_latency_ns))
+            board.accelerator.submit(IORequest(
+                PacketKind.NET_TX, 64, ("net", queue, 0),
+                service_ns=1_500, done=done))
+            yield env.timeout(int(rng.exponential(400 * MICROSECONDS)))
+
+    env.process(latency_probe(), name="latency-probe")
+
+    def storm_source():
+        rng = deployment.rng.stream("soak-storms")
+        while True:
+            yield env.timeout(int(rng.exponential(150 * MILLISECONDS)))
+            for _ in range(int(rng.integers(4, 10))):
+                host.create_vm(VMSpec())
+
+    env.process(storm_source(), name="storm-source")
+    deployment.run(env.now + duration_ns)
+    # Drain: give in-flight startups a grace window.
+    deployment.run(env.now + 500 * MILLISECONDS)
+
+    startups = [vm.startup_time_ns() for vm in host.vms
+                if vm.startup_time_ns() is not None]
+    slo_ns = host.manager.params.startup_slo_ns
+    within = sum(1 for value in startups if value <= slo_ns)
+    return {
+        "dp_p99_us": probe_latency.p99() / MICROSECONDS,
+        "dp_p999_us": probe_latency.p999() / MICROSECONDS,
+        "vms_started": len(startups),
+        "startup_slo_compliance_pct":
+            100.0 * within / max(len(startups), 1),
+        "avg_startup_ms": (sum(startups) / max(len(startups), 1))
+        / MILLISECONDS,
+    }
+
+
+@register("ext_production_soak", "Both SLOs under a production mix",
+          "Section 6.6")
+def run(scale=1.0, seed=0):
+    duration = scaled_duration(2 * SECONDS, scale,
+                               floor_ns=400 * MILLISECONDS)
+    static = _soak(StaticPartitionDeployment, duration, seed)
+    taichi = _soak(TaiChiDeployment, duration, seed)
+    rows = [
+        {"system": "static partition", **static},
+        {"system": "Tai Chi", **taichi},
+    ]
+    return ExperimentResult(
+        exp_id="ext_production_soak",
+        title="Compressed production soak: DP and CP SLOs together",
+        paper_ref="Section 6.6",
+        rows=rows,
+        derived={
+            # "No I/O SLO violations were reported during Tai Chi upgrade":
+            # the operative check is that Tai Chi adds no tail latency over
+            # whatever the static baseline delivers under the same load.
+            "dp_p999_vs_baseline":
+                taichi["dp_p999_us"] / max(static["dp_p999_us"], 1e-9),
+            "taichi_startup_compliance_pct":
+                taichi["startup_slo_compliance_pct"],
+            "static_startup_compliance_pct":
+                static["startup_slo_compliance_pct"],
+            "startup_speedup":
+                static["avg_startup_ms"] / max(taichi["avg_startup_ms"], 1e-9),
+        },
+        paper={
+            "claim": (
+                "no I/O SLO violations during three years of deployment "
+                "while VM startups recovered 3.1x in high density"
+            ),
+        },
+    )

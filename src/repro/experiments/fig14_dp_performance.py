@@ -1,0 +1,67 @@
+"""Figure 14: normalized DP performance, Tai Chi vs baseline.
+
+The netperf/sockperf suite (udp_stream, tcp_stream, tcp_rr, sockperf tcp
+and udp) with the standing CP background active.  The paper reports 0.6 %
+average overhead with a 1.92 % peak.
+"""
+
+from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
+from repro.experiments.common import scaled_duration
+from repro.experiments.registry import register
+from repro.experiments.report import ExperimentResult
+from repro.sim.units import MILLISECONDS
+from repro.workloads import (
+    run_sockperf_tcp,
+    run_sockperf_udp,
+    run_tcp_rr,
+    run_tcp_stream,
+    run_udp_stream,
+)
+from repro.workloads.background import start_cp_background
+
+CASES = (
+    ("udp_stream:avg_rx_bw", run_udp_stream, "avg_rx_bw_gbps", 1.0),
+    ("tcp_stream:avg_tx_pps", run_tcp_stream, "avg_tx_pps", 1.0),
+    ("tcp_rr:rr_per_s", run_tcp_rr, "rr_per_s", 1.0),
+    ("sockperf_tcp:cps", run_sockperf_tcp, "cps", 1.0),
+    ("sockperf_udp:avg_lat", run_sockperf_udp, "udp_avg_lat_ns", -1.0),
+)
+
+
+def _measure(cls, case_fn, metric, duration, seed):
+    deployment = cls(seed=seed)
+    start_cp_background(deployment, n_monitors=4, rolling_tasks=3)
+    deployment.warmup()
+    return case_fn(deployment, duration)[metric]
+
+
+@register("fig14", "Normalized DP performance (netperf + sockperf)",
+          "Figure 14")
+def run(scale=1.0, seed=0):
+    duration = scaled_duration(50 * MILLISECONDS, scale)
+    rows = []
+    for label, case_fn, metric, direction in CASES:
+        baseline = _measure(StaticPartitionDeployment, case_fn, metric,
+                            duration, seed)
+        taichi = _measure(TaiChiDeployment, case_fn, metric, duration, seed)
+        normalized = taichi / baseline if baseline else 0.0
+        overhead = (1.0 - normalized) * direction * 100.0
+        rows.append({
+            "case": label,
+            "baseline": baseline,
+            "taichi": taichi,
+            "normalized": normalized,
+            "overhead_pct": overhead,
+        })
+    overheads = [row["overhead_pct"] for row in rows]
+    return ExperimentResult(
+        exp_id="fig14",
+        title="DP performance normalized to the baseline",
+        paper_ref="Figure 14",
+        rows=rows,
+        derived={
+            "avg_overhead_pct": sum(overheads) / len(overheads),
+            "max_overhead_pct": max(overheads),
+        },
+        paper={"avg_overhead_pct": 0.6, "max_overhead_pct": 1.92},
+    )

@@ -1,0 +1,45 @@
+"""Figure 3: CDF of data-plane CPU utilization.
+
+Production trace substitute: a synthetic per-second utilization sample set
+calibrated so 99.68 % of samples fall below 32.5 % utilization (67.5 %
+idle cycles) — the paper's headline waste statistic.
+"""
+
+from repro.experiments.common import scaled_count
+from repro.experiments.registry import register
+from repro.experiments.report import ExperimentResult
+from repro.workloads.traces import generate_dp_utilization_trace
+
+
+@register("fig3", "CDF of data-plane CPU utilization", "Figure 3")
+def run(scale=1.0, seed=0):
+    n_samples = scaled_count(1_200_000, scale, floor=20_000)
+    cdf = generate_dp_utilization_trace(n_samples=n_samples, seed=seed)
+    thresholds = [0.10, 0.20, 0.325, 0.50, 0.75, 1.00]
+    rows = [
+        {
+            "util_threshold_pct": threshold * 100,
+            "fraction_below": cdf.fraction_below(threshold),
+        }
+        for threshold in thresholds
+    ]
+    return ExperimentResult(
+        exp_id="fig3",
+        title="CDF of data-plane CPU utilization",
+        paper_ref="Figure 3",
+        rows=rows,
+        derived={
+            "samples": n_samples,
+            "fraction_below_32.5pct": cdf.fraction_below(0.325),
+            "p99_util": cdf.quantile(0.99),
+        },
+        paper={
+            "fraction_below_32.5pct": 0.9968,
+            "idle_cycles_at_p99.68": 0.675,
+        },
+        notes=(
+            "Synthetic trace (documented substitution): the production "
+            "samples are Alibaba-internal; only the published distribution "
+            "statistics are reproduced."
+        ),
+    )

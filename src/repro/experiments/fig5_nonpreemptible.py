@@ -1,0 +1,49 @@
+"""Figure 5: census of non-preemptible routine durations.
+
+Production trace substitute calibrated to the published statistics:
+>456k routines exceeding 1 ms over 12 hours of tracing, 94.5 % of them in
+the 1-5 ms band, maximum 67 ms.
+"""
+
+from repro.experiments.common import scaled_count
+from repro.experiments.registry import register
+from repro.experiments.report import ExperimentResult
+from repro.sim.units import MILLISECONDS
+from repro.workloads.traces import generate_nonpreemptible_census
+
+
+@register("fig5", "Non-preemptible routine duration census", "Figure 5")
+def run(scale=1.0, seed=0):
+    n_routines = scaled_count(2_500_000, scale, floor=50_000)
+    histogram, long_tail = generate_nonpreemptible_census(
+        n_routines=n_routines, seed=seed
+    )
+    in_band = sum(1 for value in long_tail
+                  if 1 * MILLISECONDS <= value < 5 * MILLISECONDS)
+    return ExperimentResult(
+        exp_id="fig5",
+        title="Distribution of non-preemptible routine durations",
+        paper_ref="Figure 5",
+        rows=[
+            {
+                "band": label,
+                "count": count,
+            }
+            for label, count in zip(_band_labels(), histogram.counts)
+        ],
+        derived={
+            "routines_over_1ms": len(long_tail),
+            "fraction_1_to_5ms": in_band / max(len(long_tail), 1),
+            "max_duration_ms": max(long_tail) / MILLISECONDS if long_tail else 0,
+        },
+        paper={
+            "routines_over_1ms": ">456,000 (12h fleet trace)",
+            "fraction_1_to_5ms": 0.945,
+            "max_duration_ms": 67,
+        },
+        notes="Synthetic census (documented substitution for the fleet trace).",
+    )
+
+
+def _band_labels():
+    return ["<1ms", "1-5ms", "5-10ms", "10-20ms", "20-40ms", "40-67ms", ">=67ms"]

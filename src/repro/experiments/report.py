@@ -1,0 +1,72 @@
+"""Result containers and plain-text table formatting."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproduced for one table/figure, plus paper reference values.
+
+    ``rows`` is a list of dicts sharing the same keys (one per table row /
+    figure series point).  ``paper`` holds the published values or ratios
+    this run should be compared against; ``derived`` holds the headline
+    ratios computed from ``rows`` (e.g. "taichi_speedup_at_32").
+    """
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    rows: list = field(default_factory=list)
+    paper: dict = field(default_factory=dict)
+    derived: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self):
+        lines = [f"== {self.exp_id}: {self.title} ({self.paper_ref}) =="]
+        if self.rows:
+            lines.append(format_table(self.rows))
+        if self.derived:
+            lines.append("-- derived --")
+            for key, value in self.derived.items():
+                lines.append(f"  {key}: {_fmt(value)}")
+        if self.paper:
+            lines.append("-- paper reference --")
+            for key, value in self.paper.items():
+                lines.append(f"  {key}: {_fmt(value)}")
+        if self.notes:
+            lines.append(f"-- notes --\n  {self.notes}")
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.to_text()
+
+
+def format_table(rows):
+    """Render a list of same-keyed dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, rule] + body)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

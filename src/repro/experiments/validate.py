@@ -1,0 +1,230 @@
+"""Validation harness: run every experiment and check the paper's shape.
+
+Each expectation is a *shape band*, not an absolute number — the substrate
+is a simulator, so the reproduction targets who-wins / by-what-factor /
+where-crossovers-fall.  ``write_experiments_md`` turns a validation run
+into the repository's EXPERIMENTS.md.
+"""
+
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class Expectation:
+    """One checkable claim about an experiment's derived metrics."""
+
+    def __init__(self, description, check):
+        self.description = description
+        self.check = check
+
+    def evaluate(self, result):
+        try:
+            return bool(self.check(result.derived))
+        except (KeyError, TypeError, ZeroDivisionError):
+            return False
+
+
+EXPECTATIONS = {
+    "fig2": [
+        Expectation("CP execution degrades >2.5x at density x4 (paper: 8x; "
+                    ">4.5x at full scale, less at reduced storm sizes)",
+                    lambda d: d["cp_exec_degradation_at_x4"] > 2.5),
+        Expectation("VM startup breaches its SLO at density x4 (paper: 3.1x)",
+                    lambda d: d["startup_vs_slo_at_x4"] > 1.0),
+    ],
+    "fig3": [
+        Expectation("~99.7% of DP utilization samples below 32.5%",
+                    lambda d: 0.99 <= d["fraction_below_32.5pct"] <= 1.0),
+    ],
+    "fig4": [
+        Expectation("non-preemptible spike is orders of magnitude above "
+                    "the clean wakeup path",
+                    lambda d: d["spike_vs_clean"] > 100),
+    ],
+    "fig5": [
+        Expectation("94.5% of >1ms routines fall in 1-5ms",
+                    lambda d: 0.93 < d["fraction_1_to_5ms"] < 0.96),
+        Expectation("maximum duration capped at 67 ms",
+                    lambda d: d["max_duration_ms"] <= 67),
+    ],
+    "fig6": [
+        Expectation("3.2us preprocessing window exceeds the 2us switch",
+                    lambda d: d["window_hides_switch"]),
+    ],
+    "fig11": [
+        Expectation("Tai Chi speedup at 32-way concurrency >1.8x (paper: 4x;"
+                    " structural cap ~3x in this configuration)",
+                    lambda d: d["speedup_at_32"] > 1.8),
+    ],
+    "fig12": [
+        Expectation("Tai Chi tcp_crr overhead <2% (paper: 0.2%)",
+                    lambda d: abs(d["taichi"]) < 2.0),
+        Expectation("Tai Chi-vDP overhead 4-12% (paper: ~8%)",
+                    lambda d: 4.0 < d["taichi-vdp"] < 12.0),
+        Expectation("type-2 overhead 15-30% (paper: ~26%)",
+                    lambda d: 15.0 < d["type2"] < 30.0),
+    ],
+    "fig13": [
+        Expectation("Tai Chi IOPS overhead <2% (paper: 0.06%)",
+                    lambda d: abs(d["taichi"]) < 2.0),
+        Expectation("Tai Chi-vDP overhead 4-12% (paper: ~6%)",
+                    lambda d: 4.0 < d["taichi-vdp"] < 12.0),
+        Expectation("type-2 overhead 15-30% (paper: ~25.7%)",
+                    lambda d: 15.0 < d["type2"] < 30.0),
+    ],
+    "fig14": [
+        Expectation("average DP overhead <3% (paper: 0.6%)",
+                    lambda d: abs(d["avg_overhead_pct"]) < 3.0),
+    ],
+    "fig15": [
+        Expectation("average MySQL overhead <4% (paper: 1.56%)",
+                    lambda d: abs(d["avg_overhead_pct"]) < 4.0),
+    ],
+    "fig16": [
+        Expectation("average Nginx overhead <4% (paper: 0.51%)",
+                    lambda d: abs(d["avg_overhead_pct"]) < 4.0),
+    ],
+    "fig17": [
+        Expectation("Tai Chi reduces startup >2x at density x4 (paper: 3.1x)",
+                    lambda d: d["startup_reduction_at_x4"] > 2.0),
+    ],
+    "table1": [
+        Expectation("kernel co-scheduling preemption is ms-scale",
+                    lambda d: d["kernel_preemption_ms"] > 0.5),
+        Expectation("Tai Chi preemption is us-scale",
+                    lambda d: d["taichi_preemption_us_p50"] < 100),
+    ],
+    "table2": [],
+    "table5": [
+        Expectation("Tai Chi RTT within 5% of baseline",
+                    lambda d: d["taichi_avg_vs_baseline"] < 1.05),
+        Expectation("w/o HW probe max RTT >2x baseline (paper: 3x)",
+                    lambda d: d["noprobe_max_vs_baseline"] > 2.0),
+        Expectation("w/o HW probe mdev >1.8x baseline (paper: 1.8x)",
+                    lambda d: d["noprobe_mdev_vs_baseline"] > 1.8),
+    ],
+    "ext_dp_boost": [
+        Expectation("IOPS gain >12% (paper: 39%; tracks our +25% CPU)",
+                    lambda d: d["iops_gain_pct"] > 12),
+        Expectation("CPS gain >12% (paper: 43%)",
+                    lambda d: d["cps_gain_pct"] > 12),
+    ],
+    "ablation_threshold": [
+        Expectation("adaptive harvests more than a fixed large threshold",
+                    lambda d: d["adaptive_harvested_ms"]
+                    > d["large_harvested_ms"]),
+    ],
+    "ablation_slice": [
+        Expectation("adaptive slices cut switch overhead vs fixed",
+                    lambda d: d["adaptive_switch_overhead_pct"]
+                    < d["fixed_switch_overhead_pct"]),
+    ],
+    "ext_preemptible_kernel": [
+        Expectation("vCPU wrapping improves worst-case RT latency >2x",
+                    lambda d: d["max_latency_improvement"] > 2.0),
+    ],
+    "ext_audit": [
+        Expectation("audit records captured with privileged flags",
+                    lambda d: d["records"] > 5),
+    ],
+    "ext_probe_fusion": [
+        Expectation("fusion lowers premature-exit rate",
+                    lambda d: d["premature_rate_fused"]
+                    <= d["premature_rate_plain"]),
+    ],
+    "ext_cache_isolation": [
+        Expectation("pollution overhead is measurable and removed",
+                    lambda d: d["pollution_overhead_pct"] > 0),
+    ],
+    "ext_window_sweep": [
+        Expectation("windows covering the switch cost add <0.5us queue wait",
+                    lambda d: d["worst_added_qwait_covered_us"] < 0.5),
+        Expectation("windows below the switch cost leak latency",
+                    lambda d: d["worst_added_qwait_uncovered_us"]
+                    > d["worst_added_qwait_covered_us"]),
+    ],
+    "ext_production_soak": [
+        Expectation("Tai Chi adds no DP tail latency (p999 within 10% of "
+                    "the static baseline)",
+                    lambda d: d["dp_p999_vs_baseline"] < 1.10),
+        Expectation("Tai Chi startup compliance at or above the baseline",
+                    lambda d: d["taichi_startup_compliance_pct"]
+                    >= d["static_startup_compliance_pct"]),
+        Expectation("startups are faster under Tai Chi",
+                    lambda d: d["startup_speedup"] > 1.0),
+    ],
+}
+
+
+def run_validation(scale=1.0, seed=0, exp_ids=None, progress=None):
+    """Run experiments and evaluate expectations.
+
+    Returns a list of dicts: {id, result, checks: [(description, ok)],
+    elapsed_s}.
+    """
+    exp_ids = sorted(EXPERIMENTS) if exp_ids is None else list(exp_ids)
+    outcomes = []
+    for exp_id in exp_ids:
+        started = time.time()
+        result = run_experiment(exp_id, scale=scale, seed=seed)
+        elapsed = time.time() - started
+        checks = [
+            (expectation.description, expectation.evaluate(result))
+            for expectation in EXPECTATIONS.get(exp_id, [])
+        ]
+        outcomes.append({
+            "id": exp_id,
+            "result": result,
+            "checks": checks,
+            "elapsed_s": elapsed,
+        })
+        if progress is not None:
+            status = "OK " if all(ok for _, ok in checks) else "FAIL"
+            progress(f"[{status}] {exp_id} ({elapsed:.1f}s)")
+    return outcomes
+
+
+def write_experiments_md(path, outcomes, scale, seed):
+    """Render a validation run as the repository's EXPERIMENTS.md."""
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Generated by `python -m repro.experiments validate "
+        f"--scale {scale} --seed {seed} --out {path}`.",
+        "",
+        "Every table and figure of the paper's evaluation (plus the",
+        "motivation figures, the Section 8/9 extensions, and two design",
+        "ablations) is regenerated by the live simulation.  Absolute",
+        "numbers differ from the paper — the substrate is a",
+        "discrete-event simulator, not Alibaba's production fleet — so",
+        "each experiment is judged on *shape*: who wins, by roughly what",
+        "factor, and where the crossovers fall.",
+        "",
+    ]
+    passed = sum(1 for outcome in outcomes
+                 if all(ok for _, ok in outcome["checks"]))
+    lines.append(f"**Shape checks: {passed}/{len(outcomes)} experiments "
+                 "pass all their bands.**")
+    lines.append("")
+    for outcome in outcomes:
+        result = outcome["result"]
+        lines.append(f"## {outcome['id']} — {result.title}")
+        lines.append("")
+        lines.append(f"*Paper reference: {result.paper_ref}; "
+                     f"runtime {outcome['elapsed_s']:.1f}s at scale {scale}.*")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.to_text())
+        lines.append("```")
+        lines.append("")
+        if outcome["checks"]:
+            lines.append("Shape checks:")
+            lines.append("")
+            for description, ok in outcome["checks"]:
+                marker = "x" if ok else " "
+                lines.append(f"- [{marker}] {description}")
+            lines.append("")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path

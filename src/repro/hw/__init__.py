@@ -1,0 +1,39 @@
+"""SmartNIC hardware substrate.
+
+Models the pieces of a production SmartNIC that Tai Chi's co-design relies
+on (Table 4 / Figure 6 of the paper):
+
+* the programmable I/O accelerator with its 2.7 us preprocessing and
+  0.5 us transfer stages — the window used to hide vCPU switch latency;
+* the hardware workload probe: a per-CPU P-state/V-state table consulted
+  before preprocessing, raising a preempt IRQ for V-state destinations;
+* eNIC receive queues shared with poll-mode DP services;
+* PCIe and NIC-port links with latency plus serialization;
+* the board itself (:class:`~repro.hw.board.SmartNIC`), which assembles a
+  kernel, CPUs, the accelerator and the links into one device.
+"""
+
+from repro.hw.accelerator import Accelerator, AcceleratorParams
+from repro.hw.board import BoardConfig, SmartNIC
+from repro.hw.enic import DeviceState, ENic
+from repro.hw.host import HostNode, VirtualMachine, VMSpec
+from repro.hw.packet import IORequest, PacketKind
+from repro.hw.port import Link
+from repro.hw.probe import CpuIoState, HardwareWorkloadProbe
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorParams",
+    "BoardConfig",
+    "CpuIoState",
+    "DeviceState",
+    "ENic",
+    "HardwareWorkloadProbe",
+    "HostNode",
+    "IORequest",
+    "Link",
+    "PacketKind",
+    "SmartNIC",
+    "VMSpec",
+    "VirtualMachine",
+]

@@ -1,0 +1,76 @@
+"""Emulated NIC/block devices (eNICs) exposed to host VMs (Figure 1c).
+
+The programmable accelerator emulates multiple devices which are attached
+to the host over PCIe and passed through to VMs.  In this model an
+:class:`ENic` owns a set of accelerator rx queues; *attaching* it to a DP
+service materializes the data path the paper's control-plane tasks
+initialize during VM creation — after which the VM's traffic flows through
+exactly those queues.
+"""
+
+import enum
+from itertools import count
+
+from repro.hw.packet import IORequest, PacketKind
+
+_device_ids = count(1)
+
+
+class DeviceState(enum.Enum):
+    UNINITIALIZED = "uninitialized"
+    READY = "ready"
+    REMOVED = "removed"
+
+
+class ENic:
+    """One emulated device: a virtio-net or virtio-blk endpoint."""
+
+    def __init__(self, board, vm_id, kind="net", n_queues=1):
+        if kind not in ("net", "blk"):
+            raise ValueError(f"unsupported device kind {kind!r}")
+        self.board = board
+        self.vm_id = vm_id
+        self.kind = kind
+        self.device_id = next(_device_ids)
+        self.n_queues = int(n_queues)
+        self.state = DeviceState.UNINITIALIZED
+        self.queue_ids = []
+        self.service = None
+        self.packets_submitted = 0
+
+    def attach(self, service):
+        """Create this device's queues on ``service``'s CPU (device init)."""
+        if self.state is not DeviceState.UNINITIALIZED:
+            raise RuntimeError(f"{self!r} already {self.state.value}")
+        for queue_index in range(self.n_queues):
+            queue_id = ("enic", self.vm_id, self.device_id, queue_index)
+            self.board.make_rx_queue(queue_id, service.cpu_id)
+            service.adopt_queue(queue_id)
+            self.queue_ids.append(queue_id)
+        self.service = service
+        self.state = DeviceState.READY
+        return self.queue_ids
+
+    def detach(self):
+        """Tear the device down (VM destruction)."""
+        self.state = DeviceState.REMOVED
+
+    def submit(self, size_bytes, service_ns, kind=None, done=None, flow=None):
+        """Send one I/O request from the VM's driver through this device."""
+        if self.state is not DeviceState.READY:
+            raise RuntimeError(f"{self!r} is not ready ({self.state.value})")
+        if kind is None:
+            kind = (PacketKind.NET_TX if self.kind == "net"
+                    else PacketKind.STORAGE_SUBMIT)
+        queue_id = self.queue_ids[self.packets_submitted % len(self.queue_ids)]
+        request = IORequest(kind, size_bytes, queue_id,
+                            service_ns=service_ns, done=done, flow=flow)
+        self.packets_submitted += 1
+        self.board.accelerator.submit(request)
+        return request
+
+    def __repr__(self):
+        return (
+            f"<ENic #{self.device_id} vm={self.vm_id} {self.kind} "
+            f"{self.state.value} queues={len(self.queue_ids)}>"
+        )

@@ -1,0 +1,62 @@
+"""A discrete-event model of the SmartNIC's native operating system.
+
+The kernel substrate provides what Tai Chi's design manipulates:
+
+* threads (:class:`~repro.kernel.thread.KThread`) whose bodies are Python
+  generators yielding *instructions* — preemptible compute, non-preemptible
+  kernel sections, syscalls, sleeps, lock operations;
+* per-CPU executors (:class:`~repro.kernel.cpu.CPU`) interpreting those
+  instructions with Linux-like preemption rules (kernel preemption is
+  refused while a non-preemptible section or spinlock is in force);
+* a run-queue scheduler with a realtime class (used by DP services) above a
+  CFS-like fair class (used by CP tasks);
+* softirqs, spinlocks, and an IPI controller whose send path can be hooked —
+  the analogue of the kernel's ``x2apic_send_IPI``, which is exactly where
+  Tai Chi's unified IPI orchestrator attaches;
+* CPU hotplug, so vCPUs can be registered as initially-offline native CPUs
+  and booted through INIT/SIPI-style IPIs.
+"""
+
+from repro.kernel.cpu import CPU, CpuState
+from repro.kernel.instructions import (
+    Compute,
+    Exit,
+    KernelSection,
+    LockAcquire,
+    LockRelease,
+    Sleep,
+    Syscall,
+    WaitEvent,
+    YieldCPU,
+)
+from repro.kernel.ipi import IPIController, IPIVector
+from repro.kernel.kernel import Kernel, KernelParams
+from repro.kernel.runqueue import RunQueue, SchedClass
+from repro.kernel.softirq import SoftirqSubsystem, SoftirqVector
+from repro.kernel.spinlock import Spinlock
+from repro.kernel.thread import KThread, ThreadState
+
+__all__ = [
+    "CPU",
+    "Compute",
+    "CpuState",
+    "Exit",
+    "IPIController",
+    "IPIVector",
+    "Kernel",
+    "KernelParams",
+    "KernelSection",
+    "KThread",
+    "LockAcquire",
+    "LockRelease",
+    "RunQueue",
+    "SchedClass",
+    "Sleep",
+    "SoftirqSubsystem",
+    "SoftirqVector",
+    "Spinlock",
+    "Syscall",
+    "ThreadState",
+    "WaitEvent",
+    "YieldCPU",
+]

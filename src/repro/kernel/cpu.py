@@ -1,0 +1,524 @@
+"""CPU executors: interpret thread instruction streams with Linux-like rules.
+
+One :class:`CPU` owns a run queue and an executor process.  The executor
+picks threads, charges context-switch costs, advances simulated time for
+their instructions, refuses kernel preemption inside non-preemptible
+sections, and runs pending softirqs at instruction boundaries.
+
+The executor's time advancement is factored through two primitives —
+:meth:`CPU._advance` and :meth:`CPU._await` — that catch interrupts.  A
+*kick* (reschedule request) sets ``need_resched`` and may end a preemptible
+chunk early; a *revocation* (only meaningful for
+:class:`~repro.virt.vcpu.VirtualCPU`) freezes the executor mid-instruction
+until its backing physical CPU is re-granted.  That split is exactly the
+paper's distinction between kernel preemption (blocked by non-preemptible
+routines) and VM-exit (always possible).
+"""
+
+import enum
+
+from repro.sim.errors import Interrupt
+from repro.kernel.instructions import (
+    Compute,
+    Exit,
+    KernelSection,
+    LockAcquire,
+    LockRelease,
+    Sleep,
+    Syscall,
+    WaitEvent,
+    YieldCPU,
+)
+from repro.kernel.runqueue import RunQueue, SchedClass
+from repro.kernel.thread import ThreadState
+
+
+class CpuState(enum.Enum):
+    OFFLINE = "offline"
+    BOOTING = "booting"
+    IDLE = "idle"
+    RUNNING = "running"
+
+
+class _KickCause:
+    """Interrupt cause for reschedule kicks."""
+
+    def __repr__(self):
+        return "<kick>"
+
+
+KICK = _KickCause()
+
+# Outcomes of running one instruction / one thread stint.
+_DONE = "done"
+_PREEMPTED = "preempted"
+_BLOCKED = "blocked"
+_EXITED = "exited"
+
+
+class CPU:
+    """A (physical) CPU of the SmartNIC OS."""
+
+    is_virtual = False
+    # Multiplier applied to instruction durations executed here; virtual
+    # CPUs carrying guest-mode workloads (type-1 baseline) set this > 1 to
+    # model nested-page-table and exit overheads.
+    work_tax = 1.0
+
+    def __init__(self, kernel, cpu_id, online=True):
+        self.kernel = kernel
+        self.env = kernel.env
+        self.cpu_id = cpu_id
+        self.runqueue = RunQueue(cpu_id)
+        self.state = CpuState.OFFLINE
+        self.current = None
+        self.need_resched = False
+        self.preempt_depth = 0
+
+        # Statistics.
+        self.busy_ns = 0
+        self.idle_ns = 0
+        self.context_switches = 0
+        self.softirq_runs = 0
+        self.nonpreemptible_ns = 0
+
+        # Executor plumbing.
+        self._proc = None
+        self._interrupt_ok = False
+        self._kick_pending = False
+        self._idle_wakeup = None
+        self._slice_end = None
+        self._in_softirq = False
+
+        # Hook invoked whenever this CPU gains runnable work while it cannot
+        # immediately run it (used by the Tai Chi vCPU scheduler).
+        self.work_callback = None
+        # Optional ``hook(thread, instruction)`` observing every instruction
+        # issued on this CPU (Section 8's instruction-level auditing).
+        self.instruction_hook = None
+
+        if online:
+            self.set_online()
+
+    # -- Lifecycle -------------------------------------------------------------
+
+    @property
+    def online(self):
+        return self.state not in (CpuState.OFFLINE, CpuState.BOOTING)
+
+    def set_online(self):
+        """Bring the CPU online and start its executor."""
+        if self.online:
+            return
+        self.state = CpuState.IDLE
+        self._proc = self.env.process(self._main(), name=f"cpu{self.cpu_id}")
+        self.kernel.on_cpu_online(self)
+
+    def receive_boot_ipi(self, vector):
+        """Handle INIT/STARTUP hotplug IPIs for an offline CPU."""
+        from repro.kernel.ipi import IPIVector
+
+        if vector is IPIVector.INIT and self.state is CpuState.OFFLINE:
+            self.state = CpuState.BOOTING
+        elif vector is IPIVector.STARTUP and self.state is CpuState.BOOTING:
+            delay = self.kernel.params.cpu_boot_ns
+
+            def _complete(_event):
+                self.state = CpuState.OFFLINE  # let set_online flip it
+                self.set_online()
+
+            self.env.timeout(delay).callbacks.append(_complete)
+
+    # -- External control --------------------------------------------------------
+
+    def kick(self):
+        """Request a reschedule: wake an idle executor or interrupt a chunk."""
+        self.need_resched = True
+        if not self.online or self._proc is None:
+            return
+        if self._idle_wakeup is not None and not self._idle_wakeup.triggered:
+            self._idle_wakeup.succeed()
+        elif (
+            self._interrupt_ok
+            and not self._kick_pending
+            and self.env.active_process is not self._proc
+        ):
+            self._kick_pending = True
+            self._proc.interrupt(KICK)
+        if self.work_callback is not None and not self.runqueue.is_empty:
+            self.work_callback(self)
+
+    def enqueue(self, thread):
+        """Place a READY thread on this CPU's run queue and kick."""
+        thread.state = ThreadState.READY
+        thread.wait_since_ns = self.env.now
+        self.runqueue.enqueue(thread)
+        self.kick()
+
+    def load(self):
+        """Crude load metric: queue length plus the running thread."""
+        return len(self.runqueue) + (1 if self.current is not None else 0)
+
+    def placement_load(self):
+        """Load as seen by wake placement (vCPUs add a backing penalty)."""
+        return self.load()
+
+    # -- Extension points (overridden by VirtualCPU) -----------------------------
+
+    def _gate(self):
+        """Wait until the CPU may execute (vCPUs wait for a backing grant)."""
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def _handle_cause(self, cause):
+        """React to a non-kick interrupt cause; vCPUs handle revocation."""
+        return
+        yield  # pragma: no cover
+
+    def on_idle_enter(self):
+        """Called when the executor finds no runnable thread."""
+
+    # -- Time primitives ----------------------------------------------------------
+
+    def _advance(self, ns, preempt_ok):
+        """Consume ``ns`` of executor time; returns nanoseconds consumed.
+
+        With ``preempt_ok`` the advance ends early (returning the partial
+        amount) when a kick arrives or the running thread's slice expires.
+        """
+        remaining = int(ns)
+        consumed = 0
+        while remaining > 0:
+            chunk = remaining
+            if preempt_ok and self._slice_end is not None:
+                chunk = min(chunk, max(self._slice_end - self.env.now, 0))
+                if chunk == 0:
+                    # Slice already expired: decide before burning more time.
+                    if self._slice_expired_should_yield():
+                        self.need_resched = True
+                        return consumed
+                    self._extend_slice()
+                    continue
+            start = self.env.now
+            self._interrupt_ok = True
+            try:
+                yield self.env.timeout(chunk)
+                self._interrupt_ok = False
+                elapsed = chunk
+            except Interrupt as interrupt:
+                self._interrupt_ok = False
+                elapsed = self.env.now - start
+                remaining -= elapsed
+                consumed += elapsed
+                self.busy_ns += elapsed
+                if interrupt.cause is KICK:
+                    self._kick_pending = False
+                    yield from self._softirqs_inline()
+                    if preempt_ok and self._should_preempt():
+                        return consumed
+                else:
+                    yield from self._handle_cause(interrupt.cause)
+                continue
+            remaining -= elapsed
+            consumed += elapsed
+            self.busy_ns += elapsed
+            if preempt_ok and remaining > 0 and self.need_resched and self._should_preempt():
+                return consumed
+        return consumed
+
+    def _await(self, event, busy):
+        """Wait for ``event``, surviving kicks (and revocations on vCPUs)."""
+        start = self.env.now
+        while True:
+            self._interrupt_ok = True
+            try:
+                value = yield event
+                self._interrupt_ok = False
+                break
+            except Interrupt as interrupt:
+                self._interrupt_ok = False
+                if interrupt.cause is KICK:
+                    self._kick_pending = False
+                    yield from self._softirqs_inline()
+                else:
+                    yield from self._handle_cause(interrupt.cause)
+                if event.processed:
+                    value = event.value
+                    break
+        elapsed = self.env.now - start
+        if busy:
+            self.busy_ns += elapsed
+        return value
+
+    def await_event(self, event, busy=True):
+        """Public wrapper for softirq handlers running on this executor."""
+        return self._await(event, busy)
+
+    def consume(self, ns):
+        """Public wrapper: burn ``ns`` non-preemptibly (softirq handlers)."""
+        return self._advance(ns, preempt_ok=False)
+
+    # -- Scheduler loop ------------------------------------------------------------
+
+    def _main(self):
+        while True:
+            yield from self._gate()
+            if self.kernel.softirq.pending(self):
+                yield from self._run_softirqs()
+                continue
+            thread = self.runqueue.pick_next()
+            if thread is None:
+                yield from self._idle_once()
+                continue
+            self.need_resched = False
+            yield from self._dispatch(thread)
+
+    def _idle_once(self):
+        self.state = CpuState.IDLE
+        self.on_idle_enter()
+        if not self.runqueue.is_empty or self.kernel.softirq.pending(self):
+            return
+        if self.kernel.try_fill_idle(self):
+            return
+        if not self.runqueue.is_empty or self.kernel.softirq.pending(self):
+            return
+        wakeup = self.env.event()
+        self._idle_wakeup = wakeup
+        start = self.env.now
+        yield from self._await(wakeup, busy=False)
+        self._idle_wakeup = None
+        self.idle_ns += self.env.now - start
+
+    def _run_softirqs(self):
+        self.softirq_runs += 1
+        self._in_softirq = True
+        try:
+            yield from self.kernel.softirq.run_pending(self)
+        finally:
+            self._in_softirq = False
+
+    def _softirqs_inline(self):
+        """Run pending softirqs from inside a wait (irq-exit semantics).
+
+        Softirqs fire promptly even while the current thread spins on a
+        lock or burns a long compute segment — interrupts stay enabled in
+        those states on real kernels.  Nested softirq execution is refused,
+        as in Linux.
+        """
+        if not self._in_softirq and self.kernel.softirq.pending(self):
+            yield from self._run_softirqs()
+
+    def _dispatch(self, thread):
+        """Run ``thread`` until it blocks, exits, or is preempted."""
+        params = self.kernel.params
+        self.context_switches += 1
+        # The thread is owed to this CPU from the moment it is popped —
+        # `current` must be visible before any wait, or a vCPU revoked
+        # during the context-switch charge would look idle and strand it.
+        self.current = thread
+        thread.cpu = self
+        yield from self._advance(params.context_switch_ns, preempt_ok=False)
+
+        self.state = CpuState.RUNNING
+        thread.state = ThreadState.RUNNING
+        thread.last_cpu = self.cpu_id
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.record(self.env.now, self.cpu_id, "sched_in",
+                          thread=thread.name)
+        if thread.wait_since_ns is not None:
+            self.kernel.record_sched_latency(self.env.now - thread.wait_since_ns)
+            thread.wait_since_ns = None
+        self._slice_end = (
+            self.env.now + params.sched_slice_ns
+            if thread.sched_class is SchedClass.FAIR
+            else None
+        )
+        stint_start = self.env.now
+
+        outcome = _DONE
+        while outcome is _DONE:
+            outcome = yield from self._run_one_instruction(thread)
+            if self.kernel.softirq.pending(self):
+                yield from self._run_softirqs()
+            if outcome is _DONE and self.need_resched and self._should_preempt():
+                outcome = _PREEMPTED
+
+        ran_ns = self.env.now - stint_start
+        self.runqueue.charge(thread, ran_ns)
+        if tracer is not None:
+            tracer.record(self.env.now, self.cpu_id, "sched_out",
+                          thread=thread.name, outcome=outcome)
+        self.current = None
+        self._slice_end = None
+        self.state = CpuState.IDLE
+
+        if outcome is _PREEMPTED:
+            thread.state = ThreadState.READY
+            thread.cpu = None
+            self.kernel.place_thread(thread, preferred=self.cpu_id)
+        elif outcome is _EXITED:
+            self.kernel.finish_thread(thread)
+        # _BLOCKED: the wake path will re-place the thread.
+
+    # -- Instruction interpreters -----------------------------------------------
+
+    def _run_one_instruction(self, thread):
+        instruction, remaining = self._next_work(thread)
+        if instruction is None:
+            return _EXITED
+        if self.instruction_hook is not None:
+            self.instruction_hook(thread, instruction)
+
+        if isinstance(instruction, Compute):
+            return (yield from self._do_compute(thread, instruction, remaining))
+        if isinstance(instruction, (KernelSection, Syscall)):
+            return (yield from self._do_nonpreemptible(thread, instruction, remaining))
+        if isinstance(instruction, Sleep):
+            return self._do_sleep(thread, instruction)
+        if isinstance(instruction, WaitEvent):
+            return self._do_wait_event(thread, instruction)
+        if isinstance(instruction, LockAcquire):
+            return (yield from self._do_lock_acquire(thread, instruction))
+        if isinstance(instruction, LockRelease):
+            instruction.lock.release(thread)
+            self._finish_instruction(thread, None)
+            return _DONE
+        if isinstance(instruction, YieldCPU):
+            self._finish_instruction(thread, None)
+            return _PREEMPTED if not self.runqueue.is_empty else _DONE
+        if isinstance(instruction, Exit):
+            thread.exit_value = instruction.value
+            self._finish_instruction(thread, None)
+            if hasattr(thread.body, "close"):
+                thread.body.close()
+            return _EXITED
+        raise TypeError(f"unknown instruction {instruction!r}")
+
+    def _next_work(self, thread):
+        """Return (instruction, remaining_ns), resuming a preempted one."""
+        if thread.current_instruction is not None:
+            return thread.current_instruction, thread.remaining_ns
+        try:
+            if thread.started and hasattr(thread.body, "send"):
+                instruction = thread.body.send(thread.pending_result)
+            else:
+                # First advance, or a plain iterator body (no send protocol).
+                thread.started = True
+                instruction = next(thread.body)
+        except StopIteration as stop:
+            thread.exit_value = stop.value
+            return None, 0
+        thread.pending_result = None
+        thread.current_instruction = instruction
+        thread.remaining_ns = int(getattr(instruction, "ns", 0) * self.work_tax)
+        return instruction, thread.remaining_ns
+
+    def _finish_instruction(self, thread, result):
+        thread.current_instruction = None
+        thread.remaining_ns = 0
+        thread.pending_result = result
+
+    def _do_compute(self, thread, instruction, remaining):
+        preempt_ok = not thread.holds_locks and self.preempt_depth == 0
+        consumed = yield from self._advance(remaining, preempt_ok=preempt_ok)
+        if consumed < remaining:
+            thread.remaining_ns = remaining - consumed
+            return _PREEMPTED
+        self._finish_instruction(thread, None)
+        return _DONE
+
+    def _do_nonpreemptible(self, thread, instruction, remaining):
+        if isinstance(instruction, Syscall) and remaining == 0:
+            remaining = int(
+                (instruction.entry_ns + instruction.body_ns + instruction.exit_ns)
+                * self.work_tax
+            )
+            thread.remaining_ns = remaining
+        self.preempt_depth += 1
+        start = self.env.now
+        try:
+            yield from self._advance(remaining, preempt_ok=False)
+        finally:
+            self.preempt_depth -= 1
+        self.nonpreemptible_ns += self.env.now - start
+        self.kernel.record_nonpreemptible(self.env.now - start)
+        self._finish_instruction(thread, None)
+        return _DONE
+
+    def _do_sleep(self, thread, instruction):
+        kernel = self.kernel
+        thread.state = ThreadState.BLOCKED
+        thread.cpu = None
+
+        def _wake(_event):
+            kernel.wake_thread(thread)
+
+        self.env.timeout(instruction.ns).callbacks.append(_wake)
+        self._finish_instruction(thread, None)
+        return _BLOCKED
+
+    def _do_wait_event(self, thread, instruction):
+        event = instruction.event
+        if event.processed:
+            self._finish_instruction(thread, event.value)
+            return _DONE
+        kernel = self.kernel
+        thread.state = ThreadState.BLOCKED
+        thread.cpu = None
+
+        def _wake(ev):
+            kernel.wake_thread(thread, result=ev.value)
+
+        event.callbacks.append(_wake)
+        self._finish_instruction(thread, None)
+        thread.pending_result = None  # filled by wake_thread
+        return _BLOCKED
+
+    def _do_lock_acquire(self, thread, instruction):
+        lock = instruction.lock
+        yield from self._advance(self.kernel.params.lock_acquire_ns, preempt_ok=False)
+        if lock.try_acquire(thread):
+            self._finish_instruction(thread, None)
+            return _DONE
+        # Contended: spin with preemption disabled until handed the lock.
+        handoff = lock.add_waiter(thread)
+        self.preempt_depth += 1
+        start = self.env.now
+        try:
+            yield from self._await(handoff, busy=True)
+        finally:
+            self.preempt_depth -= 1
+        lock.total_wait_ns += self.env.now - start
+        self._finish_instruction(thread, None)
+        return _DONE
+
+    # -- Preemption policy ---------------------------------------------------------
+
+    def _should_preempt(self):
+        """Would the scheduler take the CPU from the current thread now?"""
+        thread = self.current
+        if thread is None:
+            return True
+        if thread.holds_locks or self.preempt_depth > 0:
+            return False
+        if not thread.can_run_on(self.cpu_id):
+            return True  # affinity changed under it: migrate off
+        waiting = self.runqueue.peek_class()
+        if waiting is None:
+            return self.kernel.softirq.pending(self)
+        if thread.sched_class is SchedClass.REALTIME:
+            return False  # FIFO realtime: nothing outranks it here
+        if waiting is SchedClass.REALTIME:
+            return True
+        return self._slice_end is not None and self.env.now >= self._slice_end
+
+    def _slice_expired_should_yield(self):
+        return self.runqueue.peek_class() is not None
+
+    def _extend_slice(self):
+        self._slice_end = self.env.now + self.kernel.params.sched_slice_ns
+
+    def __repr__(self):
+        kind = "vCPU" if self.is_virtual else "pCPU"
+        return f"<{kind} {self.cpu_id} {self.state.value} rq={len(self.runqueue)}>"

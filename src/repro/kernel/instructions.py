@@ -1,0 +1,129 @@
+"""Instruction objects yielded by thread bodies.
+
+A thread body is a generator.  Each ``yield`` hands the executor one of the
+instruction objects below; the executor advances simulated time (or blocks
+the thread) accordingly and resumes the body with the instruction's result.
+
+Example body — a control-plane task doing user-space work followed by a
+syscall that takes a driver spinlock for 2 ms (the Figure 4 pattern)::
+
+    def body(thread):
+        yield Compute(200 * MICROSECONDS)          # preemptible user code
+        yield KernelSection(2 * MILLISECONDS)      # non-preemptible routine
+        yield Sleep(1 * MILLISECONDS)
+"""
+
+
+class Instruction:
+    """Base class; purely a marker with a duration-bearing repr."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self.__slots__
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class Compute(Instruction):
+    """Burn ``ns`` nanoseconds of CPU in a *preemptible* context."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns):
+        if ns < 0:
+            raise ValueError(f"negative compute duration {ns}")
+        self.ns = int(ns)
+
+
+class KernelSection(Instruction):
+    """Burn ``ns`` nanoseconds with kernel preemption disabled.
+
+    This models the ms-scale non-preemptible routines of Section 3.2
+    (spinlock-protected driver paths, interrupt-disabled regions, ...).  The
+    kernel scheduler cannot take the CPU away until the section completes —
+    but a VM-exit *can* interrupt it, which is Tai Chi's escape hatch.
+    """
+
+    __slots__ = ("ns", "reason")
+
+    def __init__(self, ns, reason="kernel"):
+        if ns < 0:
+            raise ValueError(f"negative section duration {ns}")
+        self.ns = int(ns)
+        self.reason = reason
+
+
+class Syscall(Instruction):
+    """A syscall: entry/exit overhead around a non-preemptible body.
+
+    ``body_ns`` runs non-preemptibly (like :class:`KernelSection`);
+    the executor charges ``entry_ns`` + ``body_ns`` + ``exit_ns`` in total.
+    """
+
+    __slots__ = ("body_ns", "entry_ns", "exit_ns", "name")
+
+    def __init__(self, body_ns, name="syscall", entry_ns=300, exit_ns=300):
+        self.body_ns = int(body_ns)
+        self.entry_ns = int(entry_ns)
+        self.exit_ns = int(exit_ns)
+        self.name = name
+
+
+class Sleep(Instruction):
+    """Block the thread for ``ns`` nanoseconds (releases the CPU)."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns):
+        if ns < 0:
+            raise ValueError(f"negative sleep duration {ns}")
+        self.ns = int(ns)
+
+
+class WaitEvent(Instruction):
+    """Block until ``event`` fires; the body receives the event's value."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event):
+        self.event = event
+
+
+class LockAcquire(Instruction):
+    """Acquire a :class:`~repro.kernel.spinlock.Spinlock`.
+
+    Spinning burns CPU time with preemption disabled, exactly like the real
+    thing; once acquired, preemption stays disabled until the matching
+    :class:`LockRelease`.
+    """
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock):
+        self.lock = lock
+
+
+class LockRelease(Instruction):
+    """Release a previously acquired spinlock."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock):
+        self.lock = lock
+
+
+class YieldCPU(Instruction):
+    """Voluntarily let the scheduler pick another thread (sched_yield)."""
+
+    __slots__ = ()
+
+
+class Exit(Instruction):
+    """Terminate the thread immediately with ``value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=None):
+        self.value = value

@@ -1,0 +1,86 @@
+"""Inter-processor interrupts with an interceptable send path.
+
+``IPIController.send`` mirrors the kernel's ``x2apic_send_IPI``: Tai Chi's
+unified IPI orchestrator installs a *send hook* that sees every IPI and may
+take over routing (e.g. injecting into a running vCPU, or waking a sleeping
+one) — exactly the interception point described in Section 5.
+"""
+
+import enum
+
+
+class IPIVector(enum.Enum):
+    RESCHED = "resched"
+    CALL_FUNCTION = "call_function"
+    TIMER = "timer"
+    INIT = "init"            # CPU hotplug: reset target CPU
+    STARTUP = "startup"      # CPU hotplug: begin boot (SIPI)
+    TAICHI_PREEMPT = "taichi_preempt"  # hardware workload probe IRQ
+
+
+class IPIController:
+    """Routes IPIs between CPUs with a small delivery latency."""
+
+    def __init__(self, kernel, latency_ns=500):
+        self.kernel = kernel
+        self.latency_ns = int(latency_ns)
+        self._send_hook = None
+        self._handlers = {}
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.hooked_count = 0
+
+    def set_send_hook(self, hook):
+        """Install ``hook(src_cpu, dst_cpu, vector, payload) -> bool``.
+
+        Returning True means the hook handled (or rerouted) the IPI and the
+        default physical delivery is skipped.  This is the analogue of
+        intercepting ``x2apic_send_IPI``.
+        """
+        self._send_hook = hook
+
+    def clear_send_hook(self):
+        self._send_hook = None
+
+    def register_handler(self, vector, handler):
+        """Register ``handler(cpu, payload)`` invoked on delivery."""
+        self._handlers[vector] = handler
+
+    def send(self, src_cpu, dst_cpu, vector, payload=None):
+        """Send an IPI; honors the installed hook, else delivers physically."""
+        self.sent_count += 1
+        if self._send_hook is not None:
+            if self._send_hook(src_cpu, dst_cpu, vector, payload):
+                self.hooked_count += 1
+                return
+        self.deliver(dst_cpu, vector, payload, latency_ns=self.latency_ns)
+
+    def deliver(self, dst_cpu, vector, payload=None, latency_ns=None):
+        """Deliver to ``dst_cpu`` after ``latency_ns`` (bypasses the hook).
+
+        Also used for device IRQs (the hardware workload probe's preempt
+        interrupt arrives through this path).
+        """
+        delay = self.latency_ns if latency_ns is None else int(latency_ns)
+        env = self.kernel.env
+
+        def _fire(_event):
+            self.delivered_count += 1
+            self._invoke(dst_cpu, vector, payload)
+
+        env.timeout(delay).callbacks.append(_fire)
+
+    def _invoke(self, dst_cpu, vector, payload):
+        handler = self._handlers.get(vector)
+        if handler is not None:
+            handler(dst_cpu, payload)
+            return
+        # Default behaviours for standard vectors.
+        if vector is IPIVector.RESCHED:
+            dst_cpu.kick()
+        elif vector in (IPIVector.INIT, IPIVector.STARTUP):
+            dst_cpu.receive_boot_ipi(vector)
+        elif vector is IPIVector.CALL_FUNCTION:
+            if callable(payload):
+                payload(dst_cpu)
+            dst_cpu.kick()

@@ -1,0 +1,91 @@
+"""Per-CPU run queues with a realtime class above a CFS-like fair class."""
+
+import enum
+from collections import deque
+
+
+class SchedClass(enum.Enum):
+    """Scheduling classes, highest priority first."""
+
+    REALTIME = 0
+    FAIR = 1
+
+
+class RunQueue:
+    """Holds READY threads for one CPU.
+
+    Realtime threads are FIFO and always beat fair threads.  Fair threads
+    are picked by minimum virtual runtime, weighted by ``nice_weight``
+    (a lightweight CFS).
+    """
+
+    def __init__(self, cpu_id):
+        self.cpu_id = cpu_id
+        self._rt = deque()
+        self._fair = []
+        self.min_vruntime = 0.0
+
+    def __len__(self):
+        return len(self._rt) + len(self._fair)
+
+    @property
+    def is_empty(self):
+        return not self._rt and not self._fair
+
+    @property
+    def has_realtime(self):
+        return bool(self._rt)
+
+    def enqueue(self, thread):
+        """Add a READY thread; new fair arrivals start at min_vruntime."""
+        if thread.sched_class is SchedClass.REALTIME:
+            self._rt.append(thread)
+        else:
+            # Place newly woken threads at the queue's floor so they neither
+            # starve nor monopolize the CPU.
+            if thread.vruntime < self.min_vruntime:
+                thread.vruntime = self.min_vruntime
+            self._fair.append(thread)
+
+    def dequeue(self, thread):
+        """Remove a specific thread (e.g. migrated away); returns success."""
+        if thread in self._rt:
+            self._rt.remove(thread)
+            return True
+        if thread in self._fair:
+            self._fair.remove(thread)
+            return True
+        return False
+
+    def pick_next(self):
+        """Pop the best candidate, or ``None`` if empty."""
+        if self._rt:
+            return self._rt.popleft()
+        if self._fair:
+            best = min(self._fair, key=lambda t: (t.vruntime, t.tid))
+            self._fair.remove(best)
+            self.min_vruntime = max(self.min_vruntime, best.vruntime)
+            return best
+        return None
+
+    def peek_class(self):
+        """Scheduling class of the best waiting thread, or ``None``."""
+        if self._rt:
+            return SchedClass.REALTIME
+        if self._fair:
+            return SchedClass.FAIR
+        return None
+
+    def charge(self, thread, ran_ns):
+        """Account ``ran_ns`` of execution to ``thread``'s vruntime."""
+        thread.total_runtime_ns += ran_ns
+        if thread.sched_class is SchedClass.FAIR:
+            thread.vruntime += ran_ns / max(thread.nice_weight, 1e-9)
+            self.min_vruntime = max(self.min_vruntime, 0.0)
+
+    def threads(self):
+        """Snapshot list of queued threads (realtime first)."""
+        return list(self._rt) + sorted(self._fair, key=lambda t: (t.vruntime, t.tid))
+
+    def __repr__(self):
+        return f"<RunQueue cpu={self.cpu_id} rt={len(self._rt)} fair={len(self._fair)}>"

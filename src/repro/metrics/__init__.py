@@ -1,0 +1,25 @@
+"""Measurement utilities: streaming stats, percentiles, histograms, CDFs."""
+
+from repro.metrics.stats import (
+    Cdf,
+    Histogram,
+    LatencyRecorder,
+    RateMeter,
+    WelfordStats,
+    percentile,
+)
+from repro.metrics.schedviz import occupancy_spans, render_gantt
+from repro.metrics.timeline import Timeline, TimelineEvent
+
+__all__ = [
+    "occupancy_spans",
+    "render_gantt",
+    "Cdf",
+    "Histogram",
+    "LatencyRecorder",
+    "RateMeter",
+    "Timeline",
+    "TimelineEvent",
+    "WelfordStats",
+    "percentile",
+]

@@ -1,0 +1,59 @@
+"""Timeline capture for scheduling traces (used by the Figure 4 demo)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One scheduling event: what happened on which CPU at what time."""
+
+    ts_ns: int
+    cpu_id: object
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self):
+        extras = " ".join(f"{key}={value}" for key, value in sorted(self.detail.items()))
+        return f"[{self.ts_ns:>12} ns] cpu={self.cpu_id} {self.kind} {extras}".rstrip()
+
+
+class Timeline:
+    """An append-only log of :class:`TimelineEvent` records."""
+
+    def __init__(self, cap=100_000):
+        self.cap = cap
+        self.events = []
+        self.dropped = 0
+
+    def record(self, ts_ns, cpu_id, kind, **detail):
+        if len(self.events) >= self.cap:
+            self.dropped += 1
+            return
+        self.events.append(TimelineEvent(ts_ns, cpu_id, kind, detail))
+
+    def filter(self, kind=None, cpu_id=None):
+        out = self.events
+        if kind is not None:
+            out = [event for event in out if event.kind == kind]
+        if cpu_id is not None:
+            out = [event for event in out if event.cpu_id == cpu_id]
+        return out
+
+    def spans(self, start_kind, end_kind, cpu_id=None):
+        """Pair start/end events into (start_ts, end_ts) spans per CPU."""
+        spans = []
+        open_starts = {}
+        for event in self.events:
+            if cpu_id is not None and event.cpu_id != cpu_id:
+                continue
+            if event.kind == start_kind:
+                open_starts[event.cpu_id] = event.ts_ns
+            elif event.kind == end_kind and event.cpu_id in open_starts:
+                spans.append((open_starts.pop(event.cpu_id), event.ts_ns))
+        return spans
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

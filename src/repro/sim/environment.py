@@ -1,0 +1,125 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from heapq import heappop, heappush
+from itertools import count
+
+from repro.sim.errors import SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, PRIORITY_NORMAL, Timeout
+from repro.sim.process import Process
+
+
+class Environment:
+    """Owns the simulated clock and executes events in timestamp order.
+
+    The clock is an integer count of nanoseconds since simulation start.
+    Events scheduled for the same instant are ordered by priority, then by
+    insertion order, making runs fully deterministic.
+    """
+
+    def __init__(self, initial_time=0):
+        self._now = int(initial_time)
+        self._queue = []
+        self._eid = count()
+        self._active_process = None
+
+    @property
+    def now(self):
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def schedule(self, event, priority=PRIORITY_NORMAL, delay=0):
+        """Queue ``event`` to be processed after ``delay`` nanoseconds."""
+        heappush(self._queue, (self._now + int(delay), priority, next(self._eid), event))
+
+    def peek(self):
+        """Time of the next scheduled event, or ``None`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self):
+        """Process the single next event.
+
+        Raises :class:`SimulationError` if the queue is empty, and re-raises
+        an event's failure exception if nothing defused it.
+        """
+        try:
+            when, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no more events") from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event._defused:
+            # An unhandled failure crashes the simulation loudly rather than
+            # being silently dropped.
+            exc = event._value
+            raise exc
+
+    def run(self, until=None):
+        """Run until ``until`` (a time or an event), or until no events remain.
+
+        If ``until`` is an event, its value is returned when it triggers.
+        If it is a number, the clock is advanced exactly to it.
+        """
+        stop = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.processed:
+                    return until.value
+                stop = until
+                stop.callbacks.append(_stop_callback)
+            else:
+                at = int(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} is in the past (now={self._now})")
+                stop = Timeout(self, at - self._now)
+                stop.callbacks.append(_stop_callback)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as exc:
+            return exc.value
+
+        if stop is not None and isinstance(until, Event) and not until.triggered:
+            raise SimulationError("run() finished with the until-event untriggered")
+        return None
+
+    # -- Convenience factories ------------------------------------------------
+
+    def event(self):
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create a :class:`Timeout` firing after ``delay`` nanoseconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Spawn a :class:`Process` around ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        """Condition event triggering once every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Condition event triggering once any event in ``events`` has."""
+        return AnyOf(self, events)
+
+    def __repr__(self):
+        return f"<Environment now={self._now} pending={len(self._queue)}>"
+
+
+def _stop_callback(event):
+    if event._ok:
+        raise StopSimulation(event._value)
+    # A failed until-event: surface the underlying exception.
+    raise event._value

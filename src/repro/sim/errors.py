@@ -1,0 +1,38 @@
+"""Exception types raised by the simulation engine."""
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation engine itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early.
+
+    User code normally never sees this; ``env.run(until=event)`` converts the
+    triggering event's value into the return value of ``run``.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when another process interrupts it.
+
+    The interrupted process receives this exception at its current yield
+    point.  ``cause`` carries an arbitrary payload describing why the
+    interrupt happened (for example a :class:`~repro.virt.vcpu.VMExit`
+    reason when a vCPU is kicked off its backing physical CPU).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The payload passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __repr__(self):
+        return f"Interrupt(cause={self.args[0]!r})"

@@ -1,0 +1,219 @@
+"""Event primitives for the simulation engine.
+
+An :class:`Event` is a one-shot occurrence: it starts *pending*, is
+*triggered* exactly once (with a value or an exception), and after the
+environment pops it from the heap it becomes *processed* and its callbacks
+run.  Processes (see :mod:`repro.sim.process`) advance by yielding events.
+"""
+
+from repro.sim.errors import SimulationError
+
+# Sentinel for "not yet triggered".
+_PENDING = object()
+
+# Scheduling priorities: lower sorts earlier among simultaneous events.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot simulation event.
+
+    Attributes:
+        env: owning :class:`~repro.sim.environment.Environment`.
+        callbacks: list of callables invoked with the event once processed,
+            or ``None`` after processing (appending then is an error).
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+
+    @property
+    def triggered(self):
+        """True once the event has a value/exception scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self):
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self):
+        """True if the event succeeded; only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception.
+
+        The exception propagates into every process waiting on this event
+        unless :meth:`defused` was set.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event):
+        """Trigger this event with the state of another event.
+
+        Used as a callback to chain events together.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def defuse(self):
+        """Mark a failed event as handled so it will not crash the run."""
+        self._defused = True
+
+    @property
+    def defused(self):
+        return self._defused
+
+    def __repr__(self):
+        state = "pending"
+        if self.processed:
+            state = "processed"
+        elif self.triggered:
+            state = "triggered"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    def __init__(self, env, delay, value=None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = int(delay)
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=self._delay)
+
+    @property
+    def delay(self):
+        return self._delay
+
+    def __repr__(self):
+        return f"<Timeout delay={self._delay} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Ordered mapping of events to values for triggered conditions."""
+
+    def __init__(self, events):
+        self.events = events
+
+    def __getitem__(self, event):
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event._value
+
+    def __contains__(self, event):
+        return event in self.events
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self):
+        return len(self.events)
+
+    def todict(self):
+        return {event: event._value for event in self.events}
+
+    def __eq__(self, other):
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        return NotImplemented
+
+    def __repr__(self):
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """An event that triggers when ``evaluate(events, n_done)`` is true.
+
+    Build with :class:`AllOf` / :class:`AnyOf` rather than directly.
+    """
+
+    def __init__(self, env, evaluate, events):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+
+        if self._evaluate(self._events, self._count) and not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _done_events(self):
+        return [event for event in self._events if event.triggered]
+
+    def _check(self, event):
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok and not event.defused:
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue(self._done_events()))
+
+    @staticmethod
+    def all_events(events, count):
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events, count):
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Triggers when all given events have triggered."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Triggers when any of the given events has triggered."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,39 @@
+"""Seeded random-number streams.
+
+Every stochastic component draws from its own named stream derived from one
+root seed, so adding a new component never perturbs the draws of existing
+ones and whole experiments replay bit-identically.
+"""
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of independent, reproducible ``numpy`` generators."""
+
+    def __init__(self, seed=0):
+        self.seed = int(seed)
+        self._streams = {}
+
+    def stream(self, name):
+        """Return the generator for ``name``, creating it deterministically."""
+        if name not in self._streams:
+            seq = np.random.SeedSequence(entropy=self.seed, spawn_key=(_stable_hash(name),))
+            self._streams[name] = np.random.Generator(np.random.PCG64(seq))
+        return self._streams[name]
+
+    def spawn(self, salt):
+        """Derive a new independent :class:`RandomStreams` root."""
+        return RandomStreams(seed=(self.seed * 1_000_003 + _stable_hash(str(salt))) % (2**63))
+
+    def __repr__(self):
+        return f"<RandomStreams seed={self.seed} streams={sorted(self._streams)}>"
+
+
+def _stable_hash(name):
+    """A process-independent 63-bit hash (``hash()`` is salted per process)."""
+    value = 1469598103934665603  # FNV-1a offset basis
+    for byte in name.encode("utf-8"):
+        value ^= byte
+        value = (value * 1099511628211) % (2**63)
+    return value

@@ -1,0 +1,120 @@
+"""FIFO stores used as message queues between simulated components."""
+
+from collections import deque
+
+from repro.sim.events import Event
+
+
+class StorePut(Event):
+    """Event for a pending put; succeeds when the item is accepted."""
+
+    def __init__(self, store, item):
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event for a pending get; succeeds with the retrieved item."""
+
+    def __init__(self, store):
+        super().__init__(store.env)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of arbitrary items.
+
+    ``put`` succeeds immediately while below capacity; ``get`` succeeds
+    immediately when items are available, else parks the getter.  The
+    ordering of both items and waiters is strictly FIFO, which keeps packet
+    queues and run queues deterministic.
+    """
+
+    def __init__(self, env, capacity=None, name=None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or "store"
+        self.items = deque()
+        self._getters = deque()
+        self._putters = deque()
+        self._nonempty_watchers = []
+
+    def __len__(self):
+        return len(self.items)
+
+    @property
+    def is_empty(self):
+        return not self.items
+
+    @property
+    def is_full(self):
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item):
+        """Queue ``item``; returns an event that fires once accepted."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self):
+        """Request the next item; returns an event firing with the item."""
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self):
+        """Non-blocking get: pop and return the head item or ``None``."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._dispatch()
+        return item
+
+    def get_batch(self, max_items):
+        """Non-blocking bulk get of up to ``max_items`` items (rx_burst)."""
+        batch = []
+        while self.items and len(batch) < max_items:
+            batch.append(self.items.popleft())
+        if batch:
+            self._dispatch()
+        return batch
+
+    def when_nonempty(self):
+        """Event that fires once the store holds at least one item.
+
+        Unlike :meth:`get`, this does not consume anything — poll-mode
+        consumers use it to sleep through idle periods without losing their
+        place at the queue.
+        """
+        event = StoreGet(self)
+        if self.items:
+            event.succeed(len(self.items))
+        else:
+            self._nonempty_watchers.append(event)
+        return event
+
+    def _dispatch(self):
+        # Move items from pending putters to the buffer, then satisfy getters.
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and not self.is_full:
+                put_event = self._putters.popleft()
+                self.items.append(put_event.item)
+                put_event.succeed()
+                progressed = True
+            while self._getters and self.items:
+                get_event = self._getters.popleft()
+                get_event.succeed(self.items.popleft())
+                progressed = True
+            if self.items and self._nonempty_watchers:
+                watchers, self._nonempty_watchers = self._nonempty_watchers, []
+                for watcher in watchers:
+                    watcher.succeed(len(self.items))
+                progressed = True
+
+    def __repr__(self):
+        return f"<Store {self.name!r} items={len(self.items)} cap={self.capacity}>"

@@ -1,0 +1,31 @@
+"""Time-unit constants for the simulation clock.
+
+The simulated clock counts integer nanoseconds.  These constants make call
+sites read naturally, e.g. ``env.timeout(50 * MICROSECONDS)`` for the vCPU
+scheduler's initial time slice.
+"""
+
+NANOSECONDS = 1
+MICROSECONDS = 1_000
+MILLISECONDS = 1_000_000
+SECONDS = 1_000_000_000
+
+
+def s_to_ns(seconds):
+    """Convert (possibly fractional) seconds to integer nanoseconds."""
+    return int(round(seconds * SECONDS))
+
+
+def ns_to_s(nanoseconds):
+    """Convert integer nanoseconds to float seconds."""
+    return nanoseconds / SECONDS
+
+
+def ns_to_us(nanoseconds):
+    """Convert integer nanoseconds to float microseconds."""
+    return nanoseconds / MICROSECONDS
+
+
+def ns_to_ms(nanoseconds):
+    """Convert integer nanoseconds to float milliseconds."""
+    return nanoseconds / MILLISECONDS

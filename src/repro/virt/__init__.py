@@ -1,0 +1,18 @@
+"""Virtualization substrate: vCPU contexts, VM-exits, backing grants.
+
+Hybrid virtualization (Section 3.4) is modeled by making a
+:class:`~repro.virt.vcpu.VirtualCPU` a *native kernel CPU* whose executor
+only advances while it holds a :class:`~repro.virt.grant.BackingGrant` from
+the vCPU scheduler.  Grant revocation is a VM-exit: unlike kernel
+preemption it can interrupt the executor mid-instruction — even inside a
+non-preemptible kernel section — with the remaining work frozen in place.
+That single property is the paper's escape hatch from ms-scale
+non-preemptible routines.
+"""
+
+from repro.virt.costs import VirtCosts
+from repro.virt.grant import BackingGrant
+from repro.virt.vcpu import VirtualCPU
+from repro.virt.vmexit import VMExitReason
+
+__all__ = ["BackingGrant", "VirtCosts", "VirtualCPU", "VMExitReason"]

@@ -1,0 +1,24 @@
+"""Cost constants of the hardware virtualization model.
+
+The headline number is the ~2 microsecond vCPU context switch the paper
+repeatedly cites (Sections 3.4 and 4.3): entering plus exiting guest mode.
+``guest_work_tax`` models nested-page-table and exit-heavy slowdown of code
+executed *inside* a vCPU, which only matters for the type-1 baseline where
+DP services themselves run in guest mode.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class VirtCosts:
+    vmenter_ns: int = 800
+    vmexit_ns: int = 1_200
+    posted_interrupt_inject_ns: int = 200   # no exit needed when running
+    ipi_source_exit_ns: int = 1_500         # exit + reissue for guest IPIs
+    guest_work_tax: float = 1.0             # multiplier on guest instructions
+
+    @property
+    def switch_total_ns(self):
+        """The famous ~2 us vCPU context-switch latency."""
+        return self.vmenter_ns + self.vmexit_ns

@@ -1,0 +1,59 @@
+"""Backing grants: the contract between a pCPU slice and a vCPU."""
+
+from repro.virt.vmexit import VMExitReason
+
+
+class BackingGrant:
+    """Permission for a vCPU to execute on a physical CPU for one slice.
+
+    The granting side (Tai Chi's vCPU scheduler, running in a softirq on
+    the physical CPU) waits for whichever ends the slice first:
+
+    * ``expired`` — the adaptive time slice ran out;
+    * ``revoke_request`` — the hardware workload probe detected DP traffic;
+    * ``halted`` — the vCPU went idle (no runnable CP work).
+    """
+
+    def __init__(self, env, pcpu, vcpu, slice_ns):
+        self.env = env
+        self.pcpu = pcpu
+        self.vcpu = vcpu
+        self.slice_ns = int(slice_ns)
+        self.granted_at_ns = env.now
+        self.expired = env.timeout(self.slice_ns)
+        self.revoke_request = env.event()
+        self.halted = env.event()
+        self.end_reason = None
+        self.ended_at_ns = None
+
+    def request_revoke(self, reason=VMExitReason.HW_PROBE_IRQ):
+        """Ask the granting side to take the pCPU back (hardware probe)."""
+        if not self.revoke_request.triggered:
+            self.revoke_request.succeed(reason)
+
+    def signal_halt(self):
+        """The vCPU reports it has no runnable work left."""
+        if not self.halted.triggered:
+            self.halted.succeed(VMExitReason.HALT)
+
+    @property
+    def active(self):
+        return self.end_reason is None
+
+    def finish(self, reason):
+        self.end_reason = reason
+        self.ended_at_ns = self.env.now
+
+    def resolve_end_reason(self):
+        """Which condition fired first (revocation beats expiry ties)."""
+        if self.revoke_request.triggered:
+            return self.revoke_request.value
+        if self.halted.triggered:
+            return VMExitReason.HALT
+        return VMExitReason.TIMESLICE_EXPIRED
+
+    def __repr__(self):
+        return (
+            f"<BackingGrant pcpu={self.pcpu.cpu_id} vcpu={self.vcpu.cpu_id} "
+            f"slice={self.slice_ns} reason={self.end_reason}>"
+        )

@@ -1,0 +1,117 @@
+"""Virtual CPUs: native kernel CPUs gated on a backing grant.
+
+A :class:`VirtualCPU` is registered with the same kernel as the physical
+CPUs (hybrid virtualization): the OS schedules threads onto it through the
+ordinary run-queue machinery and standard affinity.  The only difference is
+that its executor advances simulated time *only while backed* by a
+:class:`~repro.virt.grant.BackingGrant`; revocation freezes whatever was
+in flight — including non-preemptible kernel sections — until the next
+grant, which is exactly what VM-exit does to a guest.
+"""
+
+from repro.kernel.cpu import CPU
+from repro.virt.vmexit import VMExitReason
+
+
+class RevokeCause:
+    """Interrupt cause delivered to a vCPU executor when its grant ends."""
+
+    def __init__(self, reason):
+        self.reason = reason
+
+    def __repr__(self):
+        return f"<revoke {self.reason}>"
+
+
+class VirtualCPU(CPU):
+    is_virtual = True
+
+    def __init__(self, kernel, cpu_id, online=False, lapic_id=None, work_tax=1.0):
+        # Attributes must exist before CPU.__init__ may start the executor.
+        self.backing = None
+        self._grant_waiter = None
+        self.lapic_id = lapic_id if lapic_id is not None else f"lapic-{cpu_id}"
+        self.work_tax = float(work_tax)
+        self.frozen_ns = 0
+        self.backed_ns = 0
+        self.halt_signals = 0
+        self.revocations = 0
+        super().__init__(kernel, cpu_id, online=online)
+
+    # -- Grant plumbing (called from the vCPU scheduler on a pCPU) -----------------
+
+    def set_backing(self, grant):
+        """Begin executing under ``grant`` (the VM-enter moment)."""
+        if self.backing is not None:
+            raise RuntimeError(f"{self!r} is already backed by {self.backing!r}")
+        self.backing = grant
+        if self._grant_waiter is not None and not self._grant_waiter.triggered:
+            self._grant_waiter.succeed(grant)
+
+    def revoke(self, reason=VMExitReason.EXTERNAL):
+        """End the current grant (the VM-exit moment); freezes the executor."""
+        grant = self.backing
+        if grant is None:
+            return
+        self.backing = None
+        self.revocations += 1
+        self.backed_ns += self.env.now - grant.granted_at_ns
+        grant.finish(reason)
+        if (
+            self._interrupt_ok
+            and self._idle_wakeup is None
+            and self._grant_waiter is None
+            and self.env.active_process is not self._proc
+        ):
+            self._proc.interrupt(RevokeCause(reason))
+
+    @property
+    def is_backed(self):
+        return self.backing is not None
+
+    def placement_load(self):
+        """Unbacked vCPUs are less attractive wake targets than idle pCPUs.
+
+        A thread placed on an unbacked vCPU waits for the next donated
+        slice; the half-point penalty steers wakes toward genuinely idle
+        physical CPUs while still letting loaded pCPUs overflow onto vCPUs
+        (which is the entire point of the framework).
+        """
+        return self.load() + (0.0 if self.is_backed else 0.5)
+
+    @property
+    def holds_any_lock(self):
+        """True if any thread bound to this vCPU currently holds a spinlock.
+
+        Used for the paper's lock-safe CP-to-DP scheduling: a preempted
+        lock-holding vCPU must be re-backed immediately elsewhere.
+        """
+        if self.current is not None and self.current.holds_locks:
+            return True
+        return any(thread.holds_locks for thread in self.runqueue.threads())
+
+    # -- Executor extension points ---------------------------------------------------
+
+    def _gate(self):
+        while self.backing is None:
+            waiter = self.env.event()
+            self._grant_waiter = waiter
+            yield from self._await(waiter, busy=False)
+            self._grant_waiter = None
+
+    def _handle_cause(self, cause):
+        if not isinstance(cause, RevokeCause):
+            return
+        start = self.env.now
+        while self.backing is None:
+            waiter = self.env.event()
+            self._grant_waiter = waiter
+            yield from self._await(waiter, busy=False)
+            self._grant_waiter = None
+        self.frozen_ns += self.env.now - start
+
+    def on_idle_enter(self):
+        grant = self.backing
+        if grant is not None and grant.active:
+            self.halt_signals += 1
+            grant.signal_halt()

@@ -1,0 +1,19 @@
+"""VM-exit reasons, the feedback signal for both adaptive algorithms.
+
+The vCPU scheduler doubles a vCPU's time slice when the last exit was
+``TIMESLICE_EXPIRED`` (the DP CPU stayed idle) and resets it on
+``HW_PROBE_IRQ`` (real traffic arrived).  The software workload probe
+adjusts its empty-poll threshold off the same signal in the opposite
+direction (Section 4.3).
+"""
+
+import enum
+
+
+class VMExitReason(enum.Enum):
+    TIMESLICE_EXPIRED = "timeslice_expired"  # slice ran out, DP still idle
+    HW_PROBE_IRQ = "hw_probe_irq"            # accelerator saw a DP packet
+    HALT = "halt"                            # vCPU ran out of runnable work
+    IPI_SEND = "ipi_send"                    # guest sent an IPI (source exit)
+    MIGRATION = "migration"                  # lock-safe re-backing elsewhere
+    EXTERNAL = "external"                    # host-initiated stop

@@ -1,0 +1,46 @@
+"""Benchmark workloads (Table 3) and production-trace synthesizers.
+
+Each workload function takes a :class:`~repro.baselines.Deployment` plus a
+duration and returns the paper's metrics for that benchmark:
+
+* :mod:`~repro.workloads.netperf` — udp_stream, tcp_stream, tcp_rr, tcp_crr
+* :mod:`~repro.workloads.sockperf` — tcp (CPS/pps) and udp (latencies)
+* :mod:`~repro.workloads.ping` — RTT min/avg/max/mdev
+* :mod:`~repro.workloads.fio` — 4 KB IOPS and bandwidth
+* :mod:`~repro.workloads.mysql` — sysbench-driven query/transaction rates
+* :mod:`~repro.workloads.nginx` — wrk-driven requests/s, HTTP and HTTPS
+* :mod:`~repro.workloads.synth_cp` — the in-house CP stress benchmark
+* :mod:`~repro.workloads.traces` — synthetic production traces calibrated
+  to Figures 3 and 5
+"""
+
+from repro.workloads.background import start_cp_background, start_dp_background
+from repro.workloads.fio import run_fio
+from repro.workloads.mysql import run_mysql
+from repro.workloads.netperf import run_tcp_crr, run_tcp_rr, run_tcp_stream, run_udp_stream
+from repro.workloads.nginx import run_nginx
+from repro.workloads.ping import run_ping
+from repro.workloads.sockperf import run_sockperf_tcp, run_sockperf_udp
+from repro.workloads.synth_cp import run_synth_cp
+from repro.workloads.traces import (
+    generate_dp_utilization_trace,
+    generate_nonpreemptible_census,
+)
+
+__all__ = [
+    "generate_dp_utilization_trace",
+    "generate_nonpreemptible_census",
+    "run_fio",
+    "run_mysql",
+    "run_nginx",
+    "run_ping",
+    "run_sockperf_tcp",
+    "run_sockperf_udp",
+    "run_synth_cp",
+    "run_tcp_crr",
+    "run_tcp_rr",
+    "run_tcp_stream",
+    "run_udp_stream",
+    "start_cp_background",
+    "start_dp_background",
+]

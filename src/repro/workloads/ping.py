@@ -1,0 +1,53 @@
+"""The ping workload: round-trip-time statistics (Table 5)."""
+
+from repro.hw.packet import IORequest, PacketKind
+from repro.metrics import LatencyRecorder
+from repro.sim.units import MILLISECONDS
+
+PING_SERVICE_NS = 1_500
+
+
+def run_ping(deployment, duration_ns, interval_ns=1 * MILLISECONDS,
+             queue_index=0):
+    """Send ICMP-like probes on one queue; returns min/avg/max/mdev (ns).
+
+    Each probe is one traversal of the full DP path (driver, accelerator,
+    poll loop, NIC, wire).  The paper's Table 5 compares these statistics
+    across baseline / Tai Chi / Tai Chi-without-hardware-probe.
+    """
+    env = deployment.env
+    recorder = LatencyRecorder(name="rtt")
+    queue_wait = LatencyRecorder(name="rx-queue-wait")
+    queue_id = deployment.services[queue_index].queue_ids[0]
+    accelerator = deployment.board.accelerator
+
+    def _pinger():
+        deadline = env.now + duration_ns
+        while env.now < deadline:
+            done = env.event()
+            request = IORequest(PacketKind.NET_TX, 64, queue_id,
+                                service_ns=PING_SERVICE_NS, done=done)
+            accelerator.submit(request)
+            result = yield done
+            recorder.record(result.total_latency_ns)
+            if result.queue_wait_ns is not None:
+                queue_wait.record(result.queue_wait_ns)
+            yield env.timeout(interval_ns)
+
+    proc = env.process(_pinger(), name="ping")
+    deployment.run(env.now + duration_ns + 2 * MILLISECONDS)
+    del proc
+    return {
+        "case": "ping",
+        "count": recorder.count,
+        "min_ns": recorder.min,
+        "avg_ns": recorder.mean,
+        "max_ns": recorder.max,
+        "mdev_ns": recorder.mdev,
+        "p99_ns": recorder.p99() if recorder.count else 0,
+        # Scheduling-only component: rx-ready to DP pickup, free of wire
+        # jitter (the hardware probe's hiding is visible exactly here).
+        "queue_wait_avg_ns": queue_wait.mean,
+        "queue_wait_p99_ns": queue_wait.p99() if queue_wait.count else 0,
+        "queue_wait_max_ns": queue_wait.max,
+    }

@@ -1,0 +1,54 @@
+"""The synth_cp benchmark (Sections 6.1-6.2).
+
+Generates ``concurrency`` control-plane tasks of ~50 ms each, distributed
+across the deployment's CP affinity, while the data plane is held at the
+production-p99 30 % utilization.  The metric is the average wall-clock
+execution time per task — the Figure 11 series.
+"""
+
+from repro.cp.task import CPTaskParams, spawn_synth_cp
+from repro.sim.units import MILLISECONDS, SECONDS
+from repro.workloads.background import start_dp_background
+
+
+def run_synth_cp(deployment, concurrency, rounds=3, dp_utilization=0.30,
+                 task_params=None, max_ns=20 * SECONDS):
+    """Run ``rounds`` waves of ``concurrency`` tasks; returns timing stats."""
+    env = deployment.env
+    rng = deployment.rng.stream("synth-cp")
+    params = task_params or CPTaskParams()
+    if dp_utilization > 0:
+        start_dp_background(deployment, utilization=dp_utilization)
+    deployment.warmup()
+
+    exec_times = []
+
+    def _driver():
+        for _ in range(rounds):
+            threads = spawn_synth_cp(
+                deployment.kernel, env, rng, concurrency,
+                deployment.cp_affinity, params=params,
+                recorder=exec_times.append,
+            )
+            yield env.all_of([thread.done for thread in threads])
+
+    driver = env.process(_driver(), name="synth-cp-driver")
+    # Stop as soon as the last wave completes (the DP background source is
+    # perpetual, so running to a fixed horizon would waste wall-clock time).
+    env.run(until=env.any_of([driver, env.timeout(max_ns)]))
+    if not driver.triggered:
+        raise RuntimeError(
+            f"synth_cp did not finish within {max_ns} ns "
+            f"({len(exec_times)}/{concurrency * rounds} tasks done)"
+        )
+
+    exec_times.sort()
+    count = len(exec_times)
+    return {
+        "case": "synth_cp",
+        "concurrency": concurrency,
+        "tasks": count,
+        "avg_exec_ms": sum(exec_times) / count / MILLISECONDS,
+        "p50_exec_ms": exec_times[count // 2] / MILLISECONDS,
+        "max_exec_ms": exec_times[-1] / MILLISECONDS,
+    }

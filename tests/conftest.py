@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.sim import Environment, RandomStreams
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def kernel(env):
+    kern = Kernel(env)
+    for cpu_id in range(2):
+        kern.add_cpu(cpu_id)
+    return kern
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(seed=1234).stream("test")

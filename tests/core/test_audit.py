@@ -1,0 +1,113 @@
+"""Tests for on-demand instruction-level auditing (Section 8)."""
+
+import pytest
+
+from repro.baselines import TaiChiDeployment
+from repro.core import InstructionAuditor
+from repro.kernel import Compute, KernelSection, Sleep, Syscall
+from repro.sim import MICROSECONDS, MILLISECONDS, SECONDS
+
+
+def make(interceptor=None):
+    deployment = TaiChiDeployment(seed=6)
+    deployment.warmup()
+    auditor = InstructionAuditor(deployment.taichi, interceptor=interceptor)
+    return deployment, auditor
+
+
+def target_body(cycles=5):
+    for _ in range(cycles):
+        yield Compute(200 * MICROSECONDS)
+        yield Syscall(100 * MICROSECONDS, name="cfg")
+        yield KernelSection(150 * MICROSECONDS)
+        yield Sleep(100 * MICROSECONDS)
+
+
+def test_audit_migrates_thread_to_vcpu():
+    deployment, auditor = make()
+    thread = deployment.kernel.spawn("target", target_body(),
+                                     affinity=set(deployment.board.cp_cpu_ids))
+    session = auditor.begin(thread)
+    deployment.run(deployment.env.now + 50 * MILLISECONDS)
+    assert thread.affinity == {session.vcpu_id}
+    assert thread.last_cpu == session.vcpu_id
+
+
+def test_audit_records_instructions_with_privilege_flags():
+    deployment, auditor = make()
+    thread = deployment.kernel.spawn("target", target_body(cycles=3),
+                                     affinity=set(deployment.board.cp_cpu_ids))
+    auditor.begin(thread)
+    deployment.env.run(until=deployment.env.any_of(
+        [thread.done, deployment.env.timeout(2 * SECONDS)]))
+    session = auditor.end(thread)
+    assert session.records
+    kinds = {record.kind for record in session.records}
+    assert {"Compute", "Syscall", "KernelSection"} <= kinds
+    # Syscalls and kernel sections are privileged; computes are not.
+    for record in session.records:
+        assert record.privileged == (record.kind != "Compute"
+                                     and record.kind != "Sleep")
+
+
+def test_end_restores_affinity():
+    deployment, auditor = make()
+    original = set(deployment.board.cp_cpu_ids)
+    thread = deployment.kernel.spawn("target", target_body(cycles=20),
+                                     affinity=set(original))
+    auditor.begin(thread)
+    deployment.run(deployment.env.now + 20 * MILLISECONDS)
+    session = auditor.end(thread)
+    assert thread.affinity == original
+    assert not session.active
+    assert session.summary()["instructions"] > 0
+
+
+def test_interceptor_sees_privileged_instructions():
+    intercepted = []
+
+    def interceptor(thread, instruction):
+        intercepted.append(type(instruction).__name__)
+        return True
+
+    deployment, auditor = make(interceptor=interceptor)
+    thread = deployment.kernel.spawn("target", target_body(cycles=2),
+                                     affinity=set(deployment.board.cp_cpu_ids))
+    auditor.begin(thread)
+    deployment.env.run(until=deployment.env.any_of(
+        [thread.done, deployment.env.timeout(2 * SECONDS)]))
+    session = auditor.end(thread)
+    assert intercepted
+    assert all(kind != "Compute" for kind in intercepted)
+    assert len(session.intercepted) == len(intercepted)
+
+
+def test_double_begin_rejected():
+    deployment, auditor = make()
+    thread = deployment.kernel.spawn("target", target_body(),
+                                     affinity=set(deployment.board.cp_cpu_ids))
+    auditor.begin(thread)
+    with pytest.raises(ValueError):
+        auditor.begin(thread)
+
+
+def test_end_unknown_thread_rejected():
+    deployment, auditor = make()
+    thread = deployment.kernel.spawn("target", target_body(),
+                                     affinity=set(deployment.board.cp_cpu_ids))
+    with pytest.raises(KeyError):
+        auditor.end(thread)
+
+
+def test_unaudited_threads_not_recorded():
+    deployment, auditor = make()
+    vcpu_ids = set(deployment.taichi.vcpu_ids())
+    audited = deployment.kernel.spawn("audited", target_body(cycles=2),
+                                      affinity=set(deployment.board.cp_cpu_ids))
+    bystander = deployment.kernel.spawn("bystander", target_body(cycles=2),
+                                        affinity=vcpu_ids)
+    session = auditor.begin(audited)
+    deployment.env.run(until=deployment.env.any_of(
+        [deployment.env.all_of([audited.done, bystander.done]),
+         deployment.env.timeout(2 * SECONDS)]))
+    assert all(record.thread_name == "audited" for record in session.records)

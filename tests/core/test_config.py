@@ -1,0 +1,28 @@
+"""Tests for Tai Chi configuration validation."""
+
+import pytest
+
+from repro.core import TaiChiConfig
+from repro.sim import MICROSECONDS
+
+
+def test_defaults_match_paper():
+    config = TaiChiConfig()
+    assert config.initial_slice_ns == 50 * MICROSECONDS
+    assert config.n_vcpus == 8
+    assert config.hw_probe_enabled
+    assert config.costs.switch_total_ns == 2_000  # the ~2 us switch
+
+
+def test_invalid_slice_rejected():
+    with pytest.raises(ValueError):
+        TaiChiConfig(initial_slice_ns=0)
+    with pytest.raises(ValueError):
+        TaiChiConfig(initial_slice_ns=100, max_slice_ns=50)
+
+
+def test_invalid_thresholds_rejected():
+    with pytest.raises(ValueError):
+        TaiChiConfig(min_threshold=100, initial_threshold=50)
+    with pytest.raises(ValueError):
+        TaiChiConfig(initial_threshold=10_000, max_threshold=100)

@@ -1,0 +1,86 @@
+"""Tests for dynamic CP/DP repartitioning (Section 8)."""
+
+import pytest
+
+from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
+from repro.core import DynamicRepartitioner
+from repro.hw import IORequest, PacketKind
+from repro.sim import MILLISECONDS
+
+
+def make():
+    deployment = TaiChiDeployment(seed=4)
+    deployment.warmup()
+    return deployment, DynamicRepartitioner(deployment)
+
+
+def test_requires_taichi_deployment():
+    with pytest.raises(ValueError):
+        DynamicRepartitioner(StaticPartitionDeployment(seed=4))
+
+
+def test_cp_to_dp_grows_data_plane():
+    deployment, repartitioner = make()
+    new_services = repartitioner.cp_to_dp(2)
+    assert len(new_services) == 2
+    assert len(deployment.services) == 10
+    assert len(repartitioner.cp_cpus) == 2
+    # Moved CPUs no longer appear in CP affinity.
+    moved = {service.cpu_id for service in new_services}
+    assert not moved & deployment.cp_affinity
+
+
+def test_cannot_drain_cp_partition():
+    deployment, repartitioner = make()
+    with pytest.raises(ValueError):
+        repartitioner.cp_to_dp(4)
+
+
+def test_new_services_process_traffic():
+    deployment, repartitioner = make()
+    new_service = repartitioner.cp_to_dp(1)[0]
+    done = deployment.env.event()
+    deployment.board.accelerator.submit(IORequest(
+        PacketKind.NET_TX, 64, new_service.queue_ids[0],
+        service_ns=1_500, done=done))
+    deployment.run(deployment.env.now + 5 * MILLISECONDS)
+    assert done.triggered
+    assert new_service.packets_processed == 1
+
+
+def test_new_services_are_taichi_integrated():
+    deployment, repartitioner = make()
+    new_service = repartitioner.cp_to_dp(1)[0]
+    assert new_service.idle_notifier is deployment.taichi.sw_probe
+    assert deployment.taichi.scheduler._services_by_cpu[new_service.cpu_id] \
+        is new_service
+
+
+def test_dp_to_cp_returns_cpu_and_reroutes_queues():
+    deployment, repartitioner = make()
+    retired = deployment.services[-1]
+    retired_queues = list(retired.queue_ids)
+    freed = repartitioner.dp_to_cp(1)
+    assert freed == [retired.cpu_id]
+    assert len(deployment.services) == 7
+    assert retired.cpu_id in deployment.cp_affinity
+    survivor = deployment.services[0]
+    for queue_id in retired_queues:
+        assert queue_id in survivor.queue_ids
+
+    # Traffic to the adopted queue reaches the survivor.
+    done = deployment.env.event()
+    deployment.board.accelerator.submit(IORequest(
+        PacketKind.NET_TX, 64, retired_queues[0], service_ns=1_500,
+        done=done))
+    deployment.run(deployment.env.now + 5 * MILLISECONDS)
+    assert done.triggered
+
+
+def test_round_trip_restores_partition_sizes():
+    deployment, repartitioner = make()
+    repartitioner.cp_to_dp(1)
+    repartitioner.dp_to_cp(1)
+    assert len(repartitioner.cp_cpus) == 4
+    assert len(repartitioner.dp_cpus) == 8
+    assert len(repartitioner.moves) == 2

@@ -1,0 +1,82 @@
+"""Tests for the adaptive empty-poll threshold (software probe)."""
+
+from repro.core import TaiChiConfig
+from repro.core.sw_probe import SoftwareWorkloadProbe
+from repro.virt import VMExitReason
+
+
+class FakeScheduler:
+    def __init__(self):
+        self.idle_notifications = []
+
+    def on_dp_idle(self, cpu_id):
+        self.idle_notifications.append(cpu_id)
+
+
+class FakeService:
+    def __init__(self, name="svc", cpu_id=0):
+        self.name = name
+        self.cpu_id = cpu_id
+
+
+def make_probe(**config_kwargs):
+    config = TaiChiConfig(**config_kwargs)
+    return SoftwareWorkloadProbe(config, FakeScheduler()), config
+
+
+def test_initial_threshold():
+    probe, config = make_probe()
+    assert probe.threshold_for(FakeService()) == config.initial_threshold
+
+
+def test_notify_routes_to_scheduler():
+    probe, _ = make_probe()
+    service = FakeService(cpu_id=5)
+    probe.notify_idle(service)
+    assert probe.scheduler.idle_notifications == [5]
+    assert probe.notifications == 1
+
+
+def test_timeslice_expiry_halves_threshold():
+    probe, config = make_probe()
+    service = FakeService()
+    probe.adapt(service, VMExitReason.TIMESLICE_EXPIRED)
+    assert probe.threshold_for(service) == config.initial_threshold // 2
+
+
+def test_hw_probe_exit_doubles_threshold():
+    probe, config = make_probe()
+    service = FakeService()
+    probe.adapt(service, VMExitReason.HW_PROBE_IRQ)
+    assert probe.threshold_for(service) == config.initial_threshold * 2
+
+
+def test_threshold_clamped_at_min():
+    probe, config = make_probe()
+    service = FakeService()
+    for _ in range(30):
+        probe.adapt(service, VMExitReason.TIMESLICE_EXPIRED)
+    assert probe.threshold_for(service) == config.min_threshold
+
+
+def test_threshold_clamped_at_max():
+    probe, config = make_probe()
+    service = FakeService()
+    for _ in range(30):
+        probe.adapt(service, VMExitReason.HW_PROBE_IRQ)
+    assert probe.threshold_for(service) == config.max_threshold
+
+
+def test_halt_does_not_adjust():
+    probe, config = make_probe()
+    service = FakeService()
+    probe.adapt(service, VMExitReason.HALT)
+    assert probe.threshold_for(service) == config.initial_threshold
+
+
+def test_thresholds_independent_per_service():
+    probe, config = make_probe()
+    a, b = FakeService("a"), FakeService("b")
+    probe.adapt(a, VMExitReason.HW_PROBE_IRQ)
+    assert probe.threshold_for(a) == config.initial_threshold * 2
+    assert probe.threshold_for(b) == config.initial_threshold

@@ -1,0 +1,87 @@
+"""Tests for the TaiChi deployment object."""
+
+import pytest
+
+from repro.core import TaiChi, TaiChiConfig
+from repro.dp import deploy_dp_services
+from repro.hw import SmartNIC
+from repro.sim import Environment, MILLISECONDS
+
+
+def make_installed(n_vcpus=None, config=None):
+    env = Environment()
+    board = SmartNIC(env)
+    taichi = TaiChi(board, config=config)
+    taichi.install(n_vcpus=n_vcpus)
+    env.run(until=2 * MILLISECONDS)  # let vCPUs boot
+    return env, board, taichi
+
+
+def test_install_creates_and_boots_vcpus():
+    env, board, taichi = make_installed()
+    assert len(taichi.vcpus) == 8
+    assert all(vcpu.online for vcpu in taichi.vcpus)
+    assert all(vcpu.is_virtual for vcpu in taichi.vcpus)
+
+
+def test_vcpus_registered_as_native_cpus():
+    env, board, taichi = make_installed()
+    for vcpu in taichi.vcpus:
+        assert board.kernel.cpus[vcpu.cpu_id] is vcpu
+    assert len(board.kernel.cpus) == 12 + 8
+
+
+def test_double_install_rejected():
+    env, board, taichi = make_installed()
+    with pytest.raises(RuntimeError):
+        taichi.install()
+
+
+def test_custom_vcpu_count():
+    env, board, taichi = make_installed(n_vcpus=3)
+    assert len(taichi.vcpus) == 3
+
+
+def test_cp_affinity_combines_vcpus_and_cp_pcpus():
+    env, board, taichi = make_installed()
+    affinity = taichi.cp_affinity()
+    assert set(board.cp_cpu_ids) <= affinity
+    assert set(taichi.vcpu_ids()) <= affinity
+    assert not set(board.dp_cpu_ids) & affinity
+
+
+def test_attach_dp_service_wires_notifier():
+    env, board, taichi = make_installed()
+    services = deploy_dp_services(board, "net", cpu_ids=[0])
+    taichi.attach_dp_service(services[0])
+    assert services[0].idle_notifier is taichi.sw_probe
+    assert taichi.scheduler._services_by_cpu[0] is services[0]
+
+
+def test_ipi_hook_installed():
+    env, board, taichi = make_installed()
+    assert board.kernel.ipi._send_hook is not None
+
+
+def test_stats_structure():
+    env, board, taichi = make_installed()
+    stats = taichi.stats()
+    assert {"scheduler", "sw_probe", "ipi", "vcpus"} <= set(stats)
+    assert len(stats["vcpus"]) == 8
+
+
+def test_cp_task_runs_on_vcpu_without_code_changes():
+    """The transparency claim: plain affinity binding is enough."""
+    from repro.kernel import Compute
+
+    env, board, taichi = make_installed()
+    services = deploy_dp_services(board, "net")
+    for service in services:
+        taichi.attach_dp_service(service)
+    thread = board.kernel.spawn(
+        "legacy-cp", iter([Compute(5 * MILLISECONDS)]),
+        affinity={taichi.vcpu_ids()[0]},
+    )
+    env.run(until=200 * MILLISECONDS)
+    assert thread.done.triggered
+    assert thread.last_cpu == taichi.vcpu_ids()[0]

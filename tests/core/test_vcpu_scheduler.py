@@ -1,0 +1,116 @@
+"""Tests for the vCPU scheduler: dispatch, adaptation, lock safety."""
+
+from repro.core import TaiChi, TaiChiConfig
+from repro.dp import deploy_dp_services
+from repro.hw import IORequest, PacketKind, SmartNIC
+from repro.kernel import Compute, KernelSection, LockAcquire, LockRelease
+from repro.sim import Environment, MICROSECONDS, MILLISECONDS, SECONDS
+from repro.virt import VMExitReason
+
+
+def make_system(config=None, dp_cpu_ids=None):
+    env = Environment()
+    board = SmartNIC(env)
+    services = deploy_dp_services(board, "net", cpu_ids=dp_cpu_ids)
+    taichi = TaiChi(board, config=config)
+    taichi.install()
+    for service in services:
+        taichi.attach_dp_service(service)
+    env.run(until=2 * MILLISECONDS)
+    return env, board, taichi, services
+
+
+def test_idle_dp_cpu_donated_to_cp_work():
+    env, board, taichi, services = make_system()
+    thread = board.kernel.spawn(
+        "cp", iter([Compute(20 * MILLISECONDS)]),
+        affinity={taichi.vcpu_ids()[0]},
+    )
+    env.run(until=200 * MILLISECONDS)
+    assert thread.done.triggered
+    assert taichi.scheduler.slices_run > 0
+
+
+def test_adaptive_slice_doubles_on_expiry():
+    config = TaiChiConfig(initial_slice_ns=50 * MICROSECONDS,
+                          max_slice_ns=400 * MICROSECONDS)
+    env, board, taichi, services = make_system(config=config)
+    vcpu = taichi.vcpus[0]
+    taichi.scheduler._adapt_slice(vcpu, VMExitReason.TIMESLICE_EXPIRED)
+    assert taichi.scheduler.slice_for(vcpu) == 100 * MICROSECONDS
+    taichi.scheduler._adapt_slice(vcpu, VMExitReason.TIMESLICE_EXPIRED)
+    assert taichi.scheduler.slice_for(vcpu) == 200 * MICROSECONDS
+
+
+def test_adaptive_slice_capped_and_reset():
+    config = TaiChiConfig(initial_slice_ns=50 * MICROSECONDS,
+                          max_slice_ns=100 * MICROSECONDS)
+    env, board, taichi, services = make_system(config=config)
+    vcpu = taichi.vcpus[0]
+    for _ in range(5):
+        taichi.scheduler._adapt_slice(vcpu, VMExitReason.TIMESLICE_EXPIRED)
+    assert taichi.scheduler.slice_for(vcpu) == 100 * MICROSECONDS
+    taichi.scheduler._adapt_slice(vcpu, VMExitReason.HW_PROBE_IRQ)
+    assert taichi.scheduler.slice_for(vcpu) == 50 * MICROSECONDS
+
+
+def test_hw_probe_irq_revokes_running_slice():
+    env, board, taichi, services = make_system()
+    board.kernel.spawn("cp", iter([Compute(50 * MILLISECONDS)]),
+                       affinity=set(taichi.vcpu_ids()))
+
+    def traffic(env):
+        yield env.timeout(5 * MILLISECONDS)
+        for _ in range(50):
+            board.accelerator.submit(IORequest(
+                PacketKind.NET_TX, 64, ("net", 0, 0), service_ns=1_500))
+            yield env.timeout(300 * MICROSECONDS)
+
+    env.process(traffic(env))
+    env.run(until=100 * MILLISECONDS)
+    exits = taichi.scheduler.exits_by_reason
+    assert exits[VMExitReason.HW_PROBE_IRQ] > 0
+
+
+def test_lock_holder_migrates_on_preemption():
+    env, board, taichi, services = make_system()
+    lock = board.kernel.spinlock("drv")
+
+    def holder():
+        yield LockAcquire(lock)
+        yield KernelSection(10 * MILLISECONDS)
+        yield LockRelease(lock)
+
+    thread = board.kernel.spawn("holder", holder(),
+                                affinity={taichi.vcpu_ids()[0]})
+
+    def traffic(env):
+        yield env.timeout(3 * MILLISECONDS)
+        for _ in range(300):
+            for queue in range(8):
+                board.accelerator.submit(IORequest(
+                    PacketKind.NET_TX, 64, ("net", queue, 0),
+                    service_ns=1_500))
+            yield env.timeout(100 * MICROSECONDS)
+
+    env.process(traffic(env))
+    env.run(until=1 * SECONDS)
+    assert thread.done.triggered
+    assert taichi.scheduler.lock_safe_migrations > 0
+
+
+def test_no_slice_on_busy_dp_cpu():
+    env, board, taichi, services = make_system()
+    scheduler = taichi.scheduler
+    # Saturate DP CPU 0 so it is never idle-blocked.
+    assert not scheduler._cpu_is_donatable(0) or services[0].is_idle_blocked
+
+
+def test_stats_report_exit_reasons():
+    env, board, taichi, services = make_system()
+    board.kernel.spawn("cp", iter([Compute(5 * MILLISECONDS)]),
+                       affinity=set(taichi.vcpu_ids()))
+    env.run(until=100 * MILLISECONDS)
+    stats = taichi.scheduler.stats()
+    assert stats["slices_run"] > 0
+    assert "exits" in stats

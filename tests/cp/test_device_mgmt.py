@@ -1,0 +1,80 @@
+"""Tests for the VM-creation device-management workflow."""
+
+from repro.cp import DeviceManager, DeviceMgmtParams, Orchestrator, VMCreateRequest
+from repro.hw import SmartNIC
+from repro.sim import Environment, MILLISECONDS, SECONDS
+
+
+def make_manager(params=None):
+    env = Environment()
+    board = SmartNIC(env)
+    manager = DeviceManager(board, board.cp_cpu_ids, params=params)
+    return env, board, manager
+
+
+def test_create_vm_completes_with_timestamps():
+    env, board, manager = make_manager()
+    request = manager.create_vm()
+    env.run(until=request.done)
+    assert request.t_cp_started is not None
+    assert request.t_devices_ready > request.t_cp_started
+    assert request.t_vm_started > request.t_devices_ready
+    assert request.startup_time_ns > 0
+    assert request.cp_execution_ns > 0
+
+
+def test_startup_includes_qemu_instantiation():
+    params = DeviceMgmtParams()
+    env, board, manager = make_manager(params)
+    request = manager.create_vm()
+    env.run(until=request.done)
+    assert (request.t_vm_started - request.t_devices_ready
+            == params.qemu_instantiate_ns)
+
+
+def test_single_vm_within_slo():
+    env, board, manager = make_manager()
+    request = manager.create_vm()
+    env.run(until=request.done)
+    assert request.startup_time_ns < manager.params.startup_slo_ns
+
+
+def test_storm_degrades_latency():
+    env, board, manager = make_manager()
+    orchestrator = Orchestrator(manager, density=1.0, base_storm_size=1)
+    solo = orchestrator.launch_storm(1)[0]
+    env.run(until=solo.done)
+    solo_startup = solo.startup_time_ns
+
+    env2, board2, manager2 = make_manager()
+    orchestrator2 = Orchestrator(manager2, density=4.0, base_storm_size=8)
+    storm = orchestrator2.launch_storm()
+    env2.run(until=env2.all_of([r.done for r in storm]))
+    storm_avg = sum(orchestrator2.startup_times_ns()) / len(storm)
+    assert storm_avg > solo_startup * 1.5
+
+
+def test_storm_size_scales_with_density():
+    env, board, manager = make_manager()
+    orchestrator = Orchestrator(manager, density=4.0, base_storm_size=8)
+    assert orchestrator.storm_size == 32
+
+
+def test_driver_locks_are_exercised():
+    env, board, manager = make_manager()
+    requests = [manager.create_vm() for _ in range(4)]
+    env.run(until=env.all_of([r.done for r in requests]))
+    assert sum(lock.acquisitions for lock in manager.driver_locks) == \
+        sum(r.n_devices for r in requests)
+
+
+def test_poisson_source_issues_requests():
+    import numpy as np
+
+    env, board, manager = make_manager()
+    orchestrator = Orchestrator(manager)
+    orchestrator.launch_poisson(rate_per_s=100, duration_ns=200 * MILLISECONDS,
+                                rng=np.random.default_rng(0))
+    env.run(until=2 * SECONDS)
+    assert len(orchestrator.requests) > 5
+    assert orchestrator.startup_times_ns()

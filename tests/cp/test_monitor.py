@@ -1,0 +1,32 @@
+"""Tests for monitoring CP tasks."""
+
+from repro.cp import MonitorTask
+from repro.hw import SmartNIC
+from repro.sim import Environment, MILLISECONDS
+
+
+def test_monitor_cycles_on_period():
+    env = Environment()
+    board = SmartNIC(env)
+    monitor = MonitorTask(board, "mon", board.cp_cpu_ids,
+                          period_ns=5 * MILLISECONDS)
+    env.run(until=60 * MILLISECONDS)
+    assert 5 <= monitor.cycles <= 14
+
+
+def test_monitor_respects_affinity():
+    env = Environment()
+    board = SmartNIC(env)
+    monitor = MonitorTask(board, "mon", [board.cp_cpu_ids[0]],
+                          period_ns=5 * MILLISECONDS)
+    env.run(until=30 * MILLISECONDS)
+    assert monitor.thread.last_cpu == board.cp_cpu_ids[0]
+
+
+def test_monitor_consumes_cp_cpu_time():
+    env = Environment()
+    board = SmartNIC(env)
+    MonitorTask(board, "mon", board.cp_cpu_ids, period_ns=2 * MILLISECONDS)
+    env.run(until=50 * MILLISECONDS)
+    cp_busy = sum(board.kernel.cpus[c].busy_ns for c in board.cp_cpu_ids)
+    assert cp_busy > 0

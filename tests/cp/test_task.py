@@ -1,0 +1,90 @@
+"""Tests for synthetic CP tasks and the routine-duration sampler."""
+
+import numpy as np
+
+from repro.cp.task import (
+    CPTaskParams,
+    sample_nonpreemptible_ns,
+    spawn_synth_cp,
+    synthetic_cp_body,
+)
+from repro.kernel import Kernel
+from repro.sim import Environment, MILLISECONDS, SECONDS
+
+
+def test_sampler_respects_production_bounds():
+    rng = np.random.default_rng(0)
+    samples = [sample_nonpreemptible_ns(rng) for _ in range(20_000)]
+    assert max(samples) <= 67 * MILLISECONDS
+    assert min(samples) > 0
+
+
+def test_sampler_long_tail_band_fraction():
+    rng = np.random.default_rng(1)
+    samples = [sample_nonpreemptible_ns(rng) for _ in range(50_000)]
+    long_tail = [s for s in samples if s >= 1 * MILLISECONDS]
+    in_band = [s for s in long_tail if s < 5 * MILLISECONDS]
+    assert long_tail, "expected some >1ms routines"
+    fraction = len(in_band) / len(long_tail)
+    assert 0.90 < fraction < 0.98  # paper: 94.5%
+
+
+def test_body_completes_and_calls_on_done():
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.add_cpu(0)
+    rng = np.random.default_rng(2)
+    called = []
+    params = CPTaskParams(total_ns=5 * MILLISECONDS)
+    thread = kernel.spawn(
+        "cp", synthetic_cp_body(rng, params=params,
+                                on_done=lambda: called.append(env.now)))
+    env.run(until=1 * SECONDS)
+    assert thread.done.triggered
+    assert called
+
+
+def test_unloaded_execution_time_near_nominal_total():
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.add_cpu(0)
+    rng = np.random.default_rng(3)
+    params = CPTaskParams(total_ns=50 * MILLISECONDS)
+    done_at = []
+    kernel.spawn("cp", synthetic_cp_body(
+        rng, params=params, on_done=lambda: done_at.append(env.now)))
+    env.run(until=1 * SECONDS)
+    # Unloaded wall time should be within ~40% of the nominal 50 ms
+    # (sleep jitter and sampling spread allowed).
+    assert 25 * MILLISECONDS < done_at[0] < 80 * MILLISECONDS
+
+
+def test_spawn_synth_cp_records_exec_times():
+    env = Environment()
+    kernel = Kernel(env)
+    for cpu_id in range(2):
+        kernel.add_cpu(cpu_id)
+    rng = np.random.default_rng(4)
+    times = []
+    params = CPTaskParams(total_ns=3 * MILLISECONDS)
+    threads = spawn_synth_cp(kernel, env, rng, 4, {0, 1}, params=params,
+                             recorder=times.append)
+    env.run(until=1 * SECONDS)
+    assert all(thread.done.triggered for thread in threads)
+    assert len(times) == 4
+    assert all(t > 0 for t in times)
+
+
+def test_lock_wrapped_sections_contend():
+    env = Environment()
+    kernel = Kernel(env)
+    for cpu_id in range(2):
+        kernel.add_cpu(cpu_id)
+    rng = np.random.default_rng(5)
+    lock = kernel.spinlock("drv")
+    params = CPTaskParams(total_ns=5 * MILLISECONDS, sleep_fraction=0.0)
+    threads = spawn_synth_cp(kernel, env, rng, 2, {0, 1}, params=params,
+                             locks=[lock])
+    env.run(until=1 * SECONDS)
+    assert all(thread.done.triggered for thread in threads)
+    assert lock.acquisitions > 0

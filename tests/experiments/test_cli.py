@@ -1,0 +1,58 @@
+"""Tests for the experiments CLI."""
+
+import os
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("fig11", "table5", "ext_dp_boost", "ablation_slice"):
+        assert exp_id in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "fig6", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out
+    assert "preprocessing_window_us" in out
+
+
+def test_run_writes_out_file(tmp_path, capsys):
+    out_path = os.path.join(tmp_path, "report.txt")
+    assert main(["run", "fig3", "--scale", "0.1", "--out", out_path]) == 0
+    capsys.readouterr()
+    with open(out_path) as handle:
+        assert "fig3" in handle.read()
+
+
+def test_run_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["run", "fig999"])
+
+
+def test_validate_subset(capsys):
+    assert main(["validate", "--scale", "0.1", "--only", "fig3,fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "[OK ] fig3" in out
+    assert "[OK ] fig6" in out
+    assert "pass their shape checks" in out
+
+
+def test_validate_writes_markdown(tmp_path, capsys):
+    out_path = os.path.join(tmp_path, "EXP.md")
+    assert main(["validate", "--scale", "0.1", "--only", "fig6",
+                 "--out", out_path]) == 0
+    capsys.readouterr()
+    with open(out_path) as handle:
+        text = handle.read()
+    assert "# EXPERIMENTS" in text
+    assert "fig6" in text
+
+
+def test_seed_changes_are_accepted(capsys):
+    assert main(["run", "fig3", "--scale", "0.1", "--seed", "7"]) == 0
+    capsys.readouterr()

@@ -1,0 +1,126 @@
+"""Tiny-scale runs of every experiment, asserting the paper's shape.
+
+Each test runs the real experiment pipeline at a small scale factor and
+checks the *direction* of the published result (who wins, roughly how),
+not absolute values.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {}
+
+
+def run_cached(results, exp_id, scale=SCALE):
+    if exp_id not in results:
+        results[exp_id] = run_experiment(exp_id, scale=scale, seed=0)
+    return results[exp_id]
+
+
+def test_fig2_cp_degrades_with_density(results):
+    result = run_cached(results, "fig2", scale=0.3)
+    ratios = [row["cp_exec_vs_x1"] for row in result.rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 2.5  # strong degradation at x4
+
+
+def test_fig3_utilization_mostly_idle(results):
+    result = run_cached(results, "fig3")
+    assert result.derived["fraction_below_32.5pct"] > 0.99
+
+
+def test_fig4_spike_is_three_orders_of_magnitude(results):
+    result = run_cached(results, "fig4")
+    assert result.derived["spike_vs_clean"] > 50
+
+
+def test_fig5_band_fraction(results):
+    result = run_cached(results, "fig5")
+    assert 0.92 < result.derived["fraction_1_to_5ms"] < 0.97
+    assert result.derived["max_duration_ms"] <= 67
+
+
+def test_fig6_window_exceeds_switch_cost(results):
+    result = run_cached(results, "fig6")
+    assert result.derived["window_hides_switch"]
+    assert result.derived["preprocessing_window_us"] == pytest.approx(3.2)
+
+
+def test_fig11_taichi_wins_and_gap_grows(results):
+    result = run_cached(results, "fig11", scale=0.34)
+    speedups = [row["speedup"] for row in result.rows]
+    assert speedups[-1] > 1.5              # clear win at 32
+    assert speedups[-1] >= speedups[0]     # gap grows with concurrency
+
+
+def test_fig12_ordering_baseline_taichi_vdp_type2(results):
+    result = run_cached(results, "fig12")
+    by_system = {row["system"]: row["cps"] for row in result.rows}
+    assert by_system["taichi"] >= by_system["baseline"] * 0.97
+    assert by_system["taichi-vdp"] < by_system["baseline"] * 0.97
+    assert by_system["type2"] < by_system["taichi-vdp"]
+
+
+def test_fig13_storage_ordering(results):
+    result = run_cached(results, "fig13")
+    by_system = {row["system"]: row["iops"] for row in result.rows}
+    assert by_system["taichi"] >= by_system["baseline"] * 0.97
+    assert by_system["type2"] < by_system["taichi-vdp"] < by_system["baseline"]
+
+
+def test_table5_probe_protects_tail(results):
+    result = run_cached(results, "table5")
+    assert result.derived["taichi_avg_vs_baseline"] < 1.05
+    assert result.derived["noprobe_max_vs_baseline"] > 2.0
+    assert result.derived["noprobe_mdev_vs_baseline"] > 2.0
+
+
+def test_fig14_overhead_small(results):
+    result = run_cached(results, "fig14")
+    assert abs(result.derived["avg_overhead_pct"]) < 4.0
+
+
+def test_fig15_mysql_overhead_small(results):
+    result = run_cached(results, "fig15")
+    assert abs(result.derived["avg_overhead_pct"]) < 5.0
+
+
+def test_fig16_nginx_overhead_small(results):
+    result = run_cached(results, "fig16")
+    assert abs(result.derived["avg_overhead_pct"]) < 5.0
+
+
+def test_fig17_taichi_reduces_startup_everywhere(results):
+    result = run_cached(results, "fig17", scale=0.3)
+    assert all(row["reduction"] > 1.0 for row in result.rows)
+    assert all(row["taichi_vs_slo"] < row["baseline_vs_slo"]
+               for row in result.rows)
+
+
+def test_table1_granularity_gap(results):
+    result = run_cached(results, "table1")
+    assert result.derived["kernel_preemption_ms"] > 0.5
+    assert result.derived["taichi_preemption_us_p50"] < 100
+
+
+def test_table2_structural_properties(results):
+    result = run_cached(results, "table2")
+    by_arch = {row["architecture"]: row for row in result.rows}
+    taichi = next(v for k, v in by_arch.items() if "Tai Chi (hybrid)" in k)
+    type2 = next(v for k, v in by_arch.items() if "Type-2" in k)
+    assert taichi["os_count"] == 1
+    assert type2["os_count"] == 2
+    assert taichi["dp_cp_ipc"] == "Native"
+    assert taichi["dp_overhead_pct"] < type2["dp_overhead_pct"]
+
+
+def test_ext_dp_boost_gains(results):
+    result = run_cached(results, "ext_dp_boost")
+    assert result.derived["iops_gain_pct"] > 10
+    assert result.derived["cps_gain_pct"] > 10

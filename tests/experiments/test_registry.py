@@ -1,0 +1,65 @@
+"""Tests for the experiment registry and reporting."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentResult, format_table, get_experiment
+from repro.experiments.registry import register
+
+
+PAPER_IDS = {
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "table1", "table2", "table5",
+    "ext_dp_boost",
+}
+EXTENSION_IDS = {
+    "ablation_threshold", "ablation_slice", "ext_preemptible_kernel",
+    "ext_audit", "ext_probe_fusion", "ext_cache_isolation",
+    "ext_production_soak", "ext_window_sweep",
+}
+
+
+def test_every_paper_artifact_registered():
+    assert PAPER_IDS <= set(EXPERIMENTS)
+
+
+def test_extension_experiments_registered():
+    assert set(EXPERIMENTS) == PAPER_IDS | EXTENSION_IDS
+
+
+def test_entries_have_metadata():
+    for entry in EXPERIMENTS.values():
+        assert entry["title"]
+        assert entry["paper_ref"]
+        assert callable(entry["run"])
+
+
+def test_get_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        get_experiment("fig999")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError):
+        register("fig2", "dup", "dup")(lambda scale, seed: None)
+
+
+def test_format_table_alignment():
+    rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert len({len(line) for line in lines}) == 1  # aligned
+
+
+def test_format_empty_table():
+    assert format_table([]) == "(no rows)"
+
+
+def test_result_to_text_contains_sections():
+    result = ExperimentResult(
+        exp_id="x", title="T", paper_ref="Fig X",
+        rows=[{"k": 1}], paper={"ref": 2}, derived={"d": 3}, notes="n",
+    )
+    text = result.to_text()
+    for fragment in ("== x:", "paper reference", "derived", "notes"):
+        assert fragment in text

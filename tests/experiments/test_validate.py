@@ -1,0 +1,55 @@
+"""Tests for the validation harness."""
+
+import os
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.report import ExperimentResult
+from repro.experiments.validate import (
+    EXPECTATIONS,
+    Expectation,
+    run_validation,
+    write_experiments_md,
+)
+
+
+def test_every_experiment_has_an_expectation_entry():
+    # table2 is allowed an empty list (purely structural), all others
+    # must carry at least one shape band.
+    for exp_id in EXPERIMENTS:
+        assert exp_id in EXPECTATIONS, f"missing expectations for {exp_id}"
+    for exp_id, expectations in EXPECTATIONS.items():
+        if exp_id != "table2":
+            assert expectations, f"{exp_id} has no shape checks"
+
+
+def test_expectation_evaluates_derived_metrics():
+    expectation = Expectation("x above 1", lambda d: d["x"] > 1)
+    good = ExperimentResult("e", "t", "r", derived={"x": 2})
+    bad = ExperimentResult("e", "t", "r", derived={"x": 0})
+    assert expectation.evaluate(good)
+    assert not expectation.evaluate(bad)
+
+
+def test_expectation_missing_key_is_failure_not_crash():
+    expectation = Expectation("needs y", lambda d: d["y"] > 1)
+    result = ExperimentResult("e", "t", "r", derived={})
+    assert expectation.evaluate(result) is False
+
+
+def test_run_validation_subset_and_report(tmp_path):
+    progress = []
+    outcomes = run_validation(scale=0.1, seed=0, exp_ids=["fig3", "fig6"],
+                              progress=progress.append)
+    assert [outcome["id"] for outcome in outcomes] == ["fig3", "fig6"]
+    assert all(all(ok for _, ok in outcome["checks"])
+               for outcome in outcomes)
+    assert len(progress) == 2
+
+    path = os.path.join(tmp_path, "EXPERIMENTS.md")
+    write_experiments_md(path, outcomes, scale=0.1, seed=0)
+    with open(path) as handle:
+        text = handle.read()
+    assert "## fig3" in text
+    assert "## fig6" in text
+    assert "Shape checks" in text
+    assert "- [x]" in text

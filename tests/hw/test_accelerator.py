@@ -1,0 +1,99 @@
+"""Tests for the accelerator pipeline and its probe hooks."""
+
+import pytest
+
+from repro.hw import Accelerator, AcceleratorParams, CpuIoState, HardwareWorkloadProbe, IORequest, PacketKind
+from repro.sim import Environment, MICROSECONDS, Store
+
+
+def make(probe=None, params=None):
+    env = Environment()
+    accel = Accelerator(env, params=params, probe=probe)
+    store = Store(env)
+    accel.attach_queue("q0", store, dst_cpu_id=0)
+    return env, accel, store
+
+
+def request(queue_id="q0", service_ns=1000):
+    return IORequest(PacketKind.NET_TX, 64, queue_id, service_ns=service_ns)
+
+
+def test_packet_deposited_after_window():
+    env, accel, store = make()
+    req = request()
+    accel.submit(req)
+    env.run()
+    assert len(store) == 1
+    assert req.t_rx_ready == accel.window_ns
+    assert req.t_submit == 0
+    assert req.t_accel_start == 0
+
+
+def test_unknown_queue_rejected():
+    env, accel, store = make()
+    with pytest.raises(KeyError):
+        accel.submit(request(queue_id="missing"))
+
+
+def test_probe_inspected_before_preprocessing():
+    probe_env = Environment()
+    probe = HardwareWorkloadProbe(probe_env)
+    env = probe_env
+    accel = Accelerator(env, probe=probe)
+    store = Store(env)
+    accel.attach_queue("q0", store, dst_cpu_id=3)
+    accel.submit(request())
+    env.run()
+    # Inspected at submit and again at deposit.
+    assert probe.packets_inspected == 2
+
+
+def test_probe_fires_irq_for_v_state_target():
+    env = Environment()
+    probe = HardwareWorkloadProbe(env)
+    fired = []
+    probe.set_irq_handler(fired.append)
+    probe.set_state(3, CpuIoState.V_STATE)
+    accel = Accelerator(env, probe=probe)
+    store = Store(env)
+    accel.attach_queue("q0", store, dst_cpu_id=3)
+    accel.submit(request())
+    env.run()
+    assert fired and fired[0] == 3
+    assert probe.irqs_fired >= 1
+
+
+def test_probe_masked_in_p_state():
+    env = Environment()
+    probe = HardwareWorkloadProbe(env)
+    fired = []
+    probe.set_irq_handler(fired.append)
+    probe.set_state(3, CpuIoState.P_STATE)
+    accel = Accelerator(env, probe=probe)
+    store = Store(env)
+    accel.attach_queue("q0", store, dst_cpu_id=3)
+    accel.submit(request())
+    env.run()
+    assert not fired
+
+
+def test_pipeline_serialization_under_burst():
+    params = AcceleratorParams(pipelines=1)
+    env, accel, store = make(params=params)
+    first, second = request(), request()
+    accel.submit(first)
+    accel.submit(second)
+    env.run()
+    # With one engine the second packet starts preprocessing after the first.
+    assert second.t_accel_start == first.t_accel_start + params.preprocess_ns
+
+
+def test_retarget_queue():
+    env, accel, store = make()
+    accel.retarget_queue("q0", dst_cpu_id=7)
+    assert accel.queue_owner("q0") == 7
+
+
+def test_window_matches_figure6():
+    env, accel, store = make()
+    assert accel.window_ns == 3_200  # 2.7 us + 0.5 us

@@ -1,0 +1,53 @@
+"""Tests for SmartNIC board assembly."""
+
+import pytest
+
+from repro.hw import BoardConfig, SmartNIC
+from repro.sim import Environment
+
+
+def test_default_board_matches_table4():
+    board = SmartNIC(Environment())
+    assert board.config.total_cpus == 12
+    assert len(board.dp_cpu_ids) == 8
+    assert len(board.cp_cpu_ids) == 4
+    assert board.config.nic_bandwidth_gbps == 200.0
+
+
+def test_partition_ids_disjoint_and_complete():
+    board = SmartNIC(Environment())
+    assert set(board.dp_cpu_ids) | set(board.cp_cpu_ids) == set(range(12))
+    assert not set(board.dp_cpu_ids) & set(board.cp_cpu_ids)
+
+
+def test_inconsistent_partition_rejected():
+    with pytest.raises(ValueError):
+        BoardConfig(total_cpus=12, dp_cpus=8, cp_cpus=5)
+
+
+def test_custom_partition():
+    config = BoardConfig(total_cpus=12, dp_cpus=10, cp_cpus=2)
+    board = SmartNIC(Environment(), config=config)
+    assert len(board.dp_cpu_ids) == 10
+
+
+def test_make_rx_queue_registers_with_accelerator():
+    board = SmartNIC(Environment())
+    store = board.make_rx_queue("q", dst_cpu_id=0)
+    assert board.accelerator.queue_store("q") is store
+    assert board.accelerator.queue_owner("q") == 0
+
+
+def test_all_cpus_online():
+    board = SmartNIC(Environment())
+    assert all(cpu.online for cpu in board.kernel.cpus.values())
+
+
+def test_packet_kind_and_request_latency_accessors():
+    from repro.hw import IORequest, PacketKind
+
+    req = IORequest(PacketKind.NET_TX, 64, "q", service_ns=100)
+    assert req.total_latency_ns is None
+    req.t_submit = 10
+    req.complete(110)
+    assert req.total_latency_ns == 100

@@ -1,0 +1,57 @@
+"""Tests for the hardware workload probe state machine."""
+
+from repro.hw import CpuIoState, HardwareWorkloadProbe
+from repro.sim import Environment
+
+
+def test_default_state_is_p():
+    probe = HardwareWorkloadProbe(Environment())
+    assert probe.get_state(0) is CpuIoState.P_STATE
+
+
+def test_state_transitions():
+    probe = HardwareWorkloadProbe(Environment())
+    probe.set_state(0, CpuIoState.V_STATE)
+    assert probe.get_state(0) is CpuIoState.V_STATE
+    probe.set_state(0, CpuIoState.P_STATE)
+    assert probe.get_state(0) is CpuIoState.P_STATE
+
+
+def test_disabled_probe_never_fires():
+    env = Environment()
+    probe = HardwareWorkloadProbe(env, enabled=False)
+    fired = []
+    probe.set_irq_handler(fired.append)
+    probe.set_state(0, CpuIoState.V_STATE)
+    assert probe.on_packet(0) is False
+    env.run()
+    assert not fired
+
+
+def test_no_handler_no_fire():
+    env = Environment()
+    probe = HardwareWorkloadProbe(env)
+    probe.set_state(0, CpuIoState.V_STATE)
+    assert probe.on_packet(0) is False
+
+
+def test_irq_delivered_after_latency():
+    env = Environment()
+    probe = HardwareWorkloadProbe(env, irq_latency_ns=300)
+    at = []
+    probe.set_irq_handler(lambda cpu: at.append(env.now))
+    probe.set_state(0, CpuIoState.V_STATE)
+    assert probe.on_packet(0) is True
+    env.run()
+    assert at == [300]
+
+
+def test_counts():
+    env = Environment()
+    probe = HardwareWorkloadProbe(env)
+    probe.set_irq_handler(lambda cpu: None)
+    probe.set_state(0, CpuIoState.V_STATE)
+    probe.on_packet(0)
+    probe.on_packet(1)  # P-state: masked
+    assert probe.packets_inspected == 2
+    assert probe.irqs_fired == 1

@@ -1,0 +1,152 @@
+"""End-to-end integration tests of the paper's headline claims."""
+
+import pytest
+
+from repro.baselines import (
+    NaiveCoscheduleDeployment,
+    StaticPartitionDeployment,
+    TaiChiDeployment,
+    TaiChiNoHwProbeDeployment,
+)
+from repro.core import TaiChiConfig
+from repro.cp.task import CPTaskParams, spawn_synth_cp
+from repro.hw import IORequest, PacketKind
+from repro.kernel import Compute, KernelSection, LockAcquire, LockRelease
+from repro.sim import MICROSECONDS, MILLISECONDS, SECONDS
+from repro.workloads import run_ping, run_synth_cp
+from repro.workloads.background import start_cp_background
+
+
+def test_taichi_accelerates_cp_without_hurting_dp_latency():
+    """The core trade-off: faster CP, near-baseline DP."""
+    def measure(deployment):
+        start_cp_background(deployment, n_monitors=2, rolling_tasks=2)
+        rng = deployment.rng.stream("it")
+        times = []
+        deployment.warmup()
+        threads = spawn_synth_cp(
+            deployment.kernel, deployment.env, rng, 16,
+            deployment.cp_affinity, recorder=times.append,
+        )
+        ping = run_ping(deployment, 400 * MILLISECONDS)
+        deployment.env.run(until=deployment.env.any_of(
+            [deployment.env.all_of([t.done for t in threads]),
+             deployment.env.timeout(5 * SECONDS)]))
+        return sum(times) / len(times), ping
+
+    static_cp, static_ping = measure(StaticPartitionDeployment(seed=11))
+    taichi_cp, taichi_ping = measure(TaiChiDeployment(seed=11))
+
+    assert taichi_cp < static_cp * 0.75          # substantial CP speedup
+    assert taichi_ping["avg_ns"] < static_ping["avg_ns"] * 1.05  # DP SLO held
+
+
+def test_hw_probe_is_what_protects_dp_tail_latency():
+    """Ablation: removing the probe inflates max RTT and mdev."""
+    def measure(deployment):
+        start_cp_background(deployment, n_monitors=4, rolling_tasks=3)
+        deployment.warmup()
+        return run_ping(deployment, 300 * MILLISECONDS)
+
+    config = TaiChiConfig(max_slice_ns=100 * MICROSECONDS)
+    with_probe = measure(TaiChiDeployment(seed=12, taichi_config=config))
+    without = measure(TaiChiNoHwProbeDeployment(seed=12))
+    assert without["max_ns"] > with_probe["max_ns"] * 2
+    assert without["mdev_ns"] > with_probe["mdev_ns"] * 2
+
+
+def test_naive_coscheduling_spikes_dp_latency():
+    """Figure 4's motivation measured end to end."""
+    deployment = NaiveCoscheduleDeployment(seed=13)
+    rng = deployment.rng.stream("cp")
+    # CP tasks with heavy non-preemptible phases on all CPUs incl. DP.
+    spawn_synth_cp(deployment.kernel, deployment.env, rng, 12,
+                   deployment.cp_affinity,
+                   params=CPTaskParams(sleep_fraction=0.5))
+    ping = run_ping(deployment, 300 * MILLISECONDS)
+    # ms-scale worst case vs the us-scale clean path.
+    assert ping["max_ns"] > 300 * MICROSECONDS
+
+
+def test_lock_holder_preemption_makes_progress():
+    """The Section 4.1 deadlock scenario resolves via migration."""
+    deployment = TaiChiDeployment(seed=14)
+    board = deployment.board
+    env = deployment.env
+    deployment.warmup()
+    lock = board.kernel.spinlock("drv")
+    finished = []
+
+    def holder():
+        yield LockAcquire(lock)
+        yield KernelSection(3 * MILLISECONDS)
+        yield LockRelease(lock)
+        finished.append("holder")
+
+    def spinner(index):
+        yield Compute(50 * MICROSECONDS)
+        yield LockAcquire(lock)
+        yield Compute(20 * MICROSECONDS)
+        yield LockRelease(lock)
+        finished.append(f"spinner{index}")
+
+    vcpu_id = deployment.taichi.vcpu_ids()[0]
+    board.kernel.spawn("holder", holder(), affinity={vcpu_id})
+    for index in range(4):
+        board.kernel.spawn(f"spin{index}", spinner(index),
+                           affinity=set(board.cp_cpu_ids))
+
+    def traffic():
+        for _ in range(500):
+            for queue in range(8):
+                board.accelerator.submit(IORequest(
+                    PacketKind.NET_TX, 64, ("net", queue, 0),
+                    service_ns=1_500))
+            yield env.timeout(50 * MICROSECONDS)
+
+    env.process(traffic(), name="traffic")
+    env.run(until=2 * SECONDS)
+    assert len(finished) == 5
+    assert finished[0] == "holder"
+
+
+def test_vcpu_work_survives_bursty_traffic():
+    """CP tasks complete despite constant preemption churn."""
+    deployment = TaiChiDeployment(seed=15)
+    board = deployment.board
+    env = deployment.env
+    deployment.warmup()
+    rng = deployment.rng.stream("cp")
+    times = []
+    threads = spawn_synth_cp(board.kernel, env, rng, 24,
+                             deployment.cp_affinity, recorder=times.append)
+
+    def traffic():
+        stream = deployment.rng.stream("burst")
+        for _ in range(200):
+            for _ in range(20):
+                queue = int(stream.integers(0, 8))
+                board.accelerator.submit(IORequest(
+                    PacketKind.NET_TX, 64, ("net", queue, 0),
+                    service_ns=1_500))
+            yield env.timeout(int(stream.exponential(2 * MILLISECONDS)))
+
+    env.process(traffic(), name="traffic")
+    env.run(until=env.any_of([env.all_of([t.done for t in threads]),
+                              env.timeout(10 * SECONDS)]))
+    assert len(times) == 24
+
+
+def test_dp_throughput_identical_under_full_load():
+    """When DP is saturated there is nothing to donate: zero overhead."""
+    from repro.workloads import run_tcp_crr
+
+    static = StaticPartitionDeployment(seed=16)
+    static.warmup()
+    base = run_tcp_crr(static, 20 * MILLISECONDS, n_connections=256)
+
+    taichi = TaiChiDeployment(seed=16)
+    start_cp_background(taichi, n_monitors=4, rolling_tasks=4)
+    taichi.warmup()
+    ours = run_tcp_crr(taichi, 20 * MILLISECONDS, n_connections=256)
+    assert ours["cps"] >= base["cps"] * 0.97

@@ -1,0 +1,100 @@
+"""Property-based invariants of the full Tai Chi system under random load."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import TaiChiDeployment
+from repro.cp.task import CPTaskParams, spawn_synth_cp
+from repro.hw import IORequest, PacketKind
+from repro.sim import MICROSECONDS, MILLISECONDS, SECONDS
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_cp=st.integers(min_value=1, max_value=12),
+    traffic_gap_us=st.integers(min_value=10, max_value=400),
+)
+@settings(max_examples=10, deadline=None)
+def test_system_invariants_under_random_mixes(seed, n_cp, traffic_gap_us):
+    """Whatever the mix: no lost CP work, no double backing, sane stats."""
+    deployment = TaiChiDeployment(seed=seed)
+    env = deployment.env
+    board = deployment.board
+    deployment.warmup()
+
+    # Random open-loop traffic.
+    def traffic():
+        rng = deployment.rng.stream("prop-traffic")
+        deadline = env.now + 150 * MILLISECONDS
+        while env.now < deadline:
+            queue = int(rng.integers(0, 8))
+            board.accelerator.submit(IORequest(
+                PacketKind.NET_TX, 256, ("net", queue, 0), service_ns=1_500))
+            yield env.timeout(
+                max(int(rng.exponential(traffic_gap_us * MICROSECONDS)), 1))
+
+    env.process(traffic(), name="traffic")
+
+    times = []
+    rng = deployment.rng.stream("prop-cp")
+    threads = spawn_synth_cp(
+        deployment.kernel, env, rng, n_cp, deployment.cp_affinity,
+        params=CPTaskParams(total_ns=8 * MILLISECONDS),
+        recorder=times.append,
+    )
+    env.run(until=env.any_of([env.all_of([t.done for t in threads]),
+                              env.timeout(20 * SECONDS)]))
+
+    # Invariant 1: every CP task completed (no starvation, no lost work).
+    assert len(times) == n_cp
+
+    # Invariant 2: no vCPU left backed or reserved once the system drains.
+    scheduler = deployment.taichi.scheduler
+    deployment.run(env.now + 10 * MILLISECONDS)
+    assert not scheduler._reserved
+    for vcpu in deployment.taichi.vcpus:
+        # A vCPU may be mid-slice for background monitors, but its backing
+        # must be a live grant registered in `active`.
+        if vcpu.is_backed:
+            assert vcpu.backing in scheduler.active.values()
+
+    # Invariant 3: accounting is consistent.
+    stats = scheduler.stats()
+    assert stats["slices_run"] >= sum(stats["exits"].values())
+    for vcpu in deployment.taichi.vcpus:
+        assert vcpu.busy_ns >= 0
+        assert vcpu.frozen_ns >= 0
+
+    # Invariant 4: every submitted packet is processed, queued, inside the
+    # accelerator pipeline, or on a DP core right now (each service can be
+    # mid-way through at most one packet when the run stops).
+    submitted = board.accelerator.packets_processed
+    processed = sum(s.packets_processed for s in deployment.services)
+    queued = sum(len(store) for s in deployment.services
+                 for store in s.rx_stores)
+    in_flight = sum(board.accelerator.queue_inflight(q)
+                    for s in deployment.services for q in s.queue_ids)
+    accounted = processed + queued + in_flight
+    assert accounted <= submitted
+    assert submitted - accounted <= len(deployment.services)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=8, deadline=None)
+def test_deterministic_replay(seed):
+    """Identical seeds produce bit-identical runs."""
+
+    def run_once():
+        deployment = TaiChiDeployment(seed=seed)
+        env = deployment.env
+        rng = deployment.rng.stream("replay-cp")
+        times = []
+        spawn_synth_cp(deployment.kernel, env, rng, 4,
+                       deployment.cp_affinity,
+                       params=CPTaskParams(total_ns=5 * MILLISECONDS),
+                       recorder=times.append)
+        deployment.run(80 * MILLISECONDS)
+        return (tuple(times), deployment.taichi.scheduler.slices_run,
+                deployment.dp_processing_ns())
+
+    assert run_once() == run_once()

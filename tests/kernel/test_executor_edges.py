@@ -1,0 +1,196 @@
+"""Edge cases of the CPU executor."""
+
+import pytest
+
+from repro.kernel import (
+    Compute,
+    Exit,
+    Kernel,
+    KernelSection,
+    LockAcquire,
+    LockRelease,
+    SchedClass,
+    Sleep,
+    Syscall,
+    WaitEvent,
+    YieldCPU,
+)
+from repro.sim import Environment, MICROSECONDS, MILLISECONDS, SECONDS
+
+
+def one_cpu():
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.add_cpu(0)
+    return env, kernel
+
+
+def test_zero_length_compute_completes():
+    env, kernel = one_cpu()
+    thread = kernel.spawn("t", iter([Compute(0), Exit("ok")]))
+    env.run()
+    assert thread.exit_value == "ok"
+
+
+def test_empty_body_exits_immediately():
+    env, kernel = one_cpu()
+    thread = kernel.spawn("t", iter(()))
+    env.run()
+    assert thread.done.triggered
+    assert kernel.finished_threads == 1
+
+
+def test_exit_instruction_skips_rest_of_body():
+    env, kernel = one_cpu()
+
+    def body():
+        yield Exit("early")
+        yield Compute(10 * SECONDS)  # must never run
+
+    thread = kernel.spawn("t", body())
+    env.run()
+    assert thread.exit_value == "early"
+    assert env.now < 1 * MILLISECONDS
+
+
+def test_back_to_back_sleeps():
+    env, kernel = one_cpu()
+
+    def body():
+        for _ in range(5):
+            yield Sleep(1 * MILLISECONDS)
+
+    thread = kernel.spawn("t", body())
+    env.run()
+    assert thread.done.triggered
+    assert env.now >= 5 * MILLISECONDS
+
+
+def test_wait_on_already_triggered_event():
+    env, kernel = one_cpu()
+    event = env.event()
+    event.succeed("ready")
+    env.run()
+    got = []
+
+    def body():
+        value = yield WaitEvent(event)
+        got.append(value)
+
+    kernel.spawn("t", body())
+    env.run()
+    assert got == ["ready"]
+
+
+def test_yield_cpu_with_empty_queue_continues():
+    env, kernel = one_cpu()
+    order = []
+
+    def body():
+        yield Compute(100)
+        yield YieldCPU()
+        order.append("after-yield")
+
+    kernel.spawn("t", body())
+    env.run()
+    assert order == ["after-yield"]
+
+
+def test_lock_released_before_exit_leaves_lock_free():
+    env, kernel = one_cpu()
+    lock = kernel.spinlock("l")
+
+    def body():
+        yield LockAcquire(lock)
+        yield KernelSection(100 * MICROSECONDS)
+        yield LockRelease(lock)
+
+    kernel.spawn("t", body())
+    env.run()
+    assert not lock.locked
+
+
+def test_nested_syscalls_accumulate():
+    env, kernel = one_cpu()
+
+    def body():
+        for _ in range(3):
+            yield Syscall(1_000, entry_ns=100, exit_ns=100)
+
+    thread = kernel.spawn("t", body())
+    env.run()
+    assert thread.total_runtime_ns >= 3 * 1_200
+
+
+def test_preempted_compute_resumes_exactly():
+    """Total executed time of a preempted thread equals its demand."""
+    env, kernel = one_cpu()
+
+    def fair_body():
+        yield Compute(10 * MILLISECONDS)
+
+    def rt_burst():
+        for _ in range(5):
+            yield Sleep(1 * MILLISECONDS)
+            yield Compute(100 * MICROSECONDS)
+
+    fair = kernel.spawn("fair", fair_body())
+    kernel.spawn("rt", rt_burst(), sched_class=SchedClass.REALTIME)
+    env.run()
+    assert fair.done.triggered
+    # 10 ms of compute, regardless of the five preemptions.
+    assert fair.total_runtime_ns >= 10 * MILLISECONDS
+    assert fair.total_runtime_ns <= 10 * MILLISECONDS + 200 * MICROSECONDS
+
+
+def test_two_rt_threads_fifo_no_mutual_preemption():
+    env, kernel = one_cpu()
+    finish = {}
+
+    def body(name):
+        yield Compute(2 * MILLISECONDS)
+        finish[name] = env.now
+
+    kernel.spawn("rt-a", body("a"), sched_class=SchedClass.REALTIME)
+    kernel.spawn("rt-b", body("b"), sched_class=SchedClass.REALTIME)
+    env.run()
+    # FIFO: a runs to completion before b starts, so b ends ~2ms later.
+    assert finish["b"] - finish["a"] >= 2 * MILLISECONDS - 100 * MICROSECONDS
+
+
+def test_fair_weights_bias_share():
+    env, kernel = one_cpu()
+    finish = {}
+
+    def body(name):
+        yield Compute(4 * MILLISECONDS)
+        finish[name] = env.now
+
+    kernel.spawn("heavy", body("heavy"), nice_weight=4.0)
+    kernel.spawn("light", body("light"), nice_weight=1.0)
+    env.run()
+    assert finish["heavy"] < finish["light"]
+
+
+def test_busy_idle_accounting_sums_to_wall_time():
+    env, kernel = one_cpu()
+    kernel.spawn("t", iter([Compute(3 * MILLISECONDS)]))
+    kernel.spawn("late", iter([Sleep(8 * MILLISECONDS), Compute(1000)]))
+    env.run()
+    cpu = kernel.cpus[0]
+    total = cpu.busy_ns + cpu.idle_ns
+    # Accounting may lag at boundaries but never exceeds wall time.
+    assert total <= env.now
+    assert cpu.busy_ns >= 3 * MILLISECONDS
+
+
+def test_syscall_work_tax_applied():
+    env, kernel = one_cpu()
+    kernel.cpus[0].work_tax = 1.5
+
+    def body():
+        yield Syscall(10_000, entry_ns=0, exit_ns=0)
+
+    thread = kernel.spawn("t", body())
+    env.run(until=thread.done)
+    assert env.now == kernel.params.context_switch_ns + 15_000

@@ -1,0 +1,54 @@
+"""Tests for instruction objects."""
+
+import pytest
+
+from repro.kernel import (
+    Compute,
+    Exit,
+    KernelSection,
+    Sleep,
+    Syscall,
+    YieldCPU,
+)
+
+
+def test_compute_stores_duration():
+    assert Compute(500).ns == 500
+
+
+def test_compute_rejects_negative():
+    with pytest.raises(ValueError):
+        Compute(-1)
+
+
+def test_kernel_section_has_reason():
+    section = KernelSection(1000, reason="spinlock")
+    assert section.ns == 1000
+    assert section.reason == "spinlock"
+
+
+def test_kernel_section_rejects_negative():
+    with pytest.raises(ValueError):
+        KernelSection(-5)
+
+
+def test_syscall_components():
+    syscall = Syscall(10_000, name="ioctl", entry_ns=200, exit_ns=300)
+    assert syscall.body_ns == 10_000
+    assert syscall.entry_ns == 200
+    assert syscall.exit_ns == 300
+    assert syscall.name == "ioctl"
+
+
+def test_sleep_rejects_negative():
+    with pytest.raises(ValueError):
+        Sleep(-1)
+
+
+def test_exit_carries_value():
+    assert Exit("done").value == "done"
+
+
+def test_repr_is_informative():
+    assert "500" in repr(Compute(500))
+    assert "YieldCPU" in repr(YieldCPU())

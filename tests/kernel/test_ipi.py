@@ -1,0 +1,87 @@
+"""Tests for the IPI controller and its interception hook."""
+
+from repro.kernel import Compute, IPIVector, Kernel
+from repro.sim import Environment, MILLISECONDS
+
+
+def test_resched_ipi_wakes_idle_cpu():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    kernel.ipi.send(None, cpu, IPIVector.RESCHED)
+    env.run(until=1 * MILLISECONDS)
+    assert kernel.ipi.delivered_count == 1
+
+
+def test_send_hook_intercepts_and_suppresses_delivery():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    seen = []
+
+    def hook(src, dst, vector, payload):
+        seen.append((src, dst.cpu_id, vector))
+        return True  # handled; suppress physical delivery
+
+    kernel.ipi.set_send_hook(hook)
+    kernel.ipi.send(None, cpu, IPIVector.RESCHED)
+    env.run(until=1 * MILLISECONDS)
+    assert seen == [(None, 0, IPIVector.RESCHED)]
+    assert kernel.ipi.delivered_count == 0
+    assert kernel.ipi.hooked_count == 1
+
+
+def test_hook_returning_false_falls_through():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    kernel.ipi.set_send_hook(lambda *args: False)
+    kernel.ipi.send(None, cpu, IPIVector.RESCHED)
+    env.run(until=1 * MILLISECONDS)
+    assert kernel.ipi.delivered_count == 1
+
+
+def test_clear_send_hook():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    kernel.ipi.set_send_hook(lambda *args: True)
+    kernel.ipi.clear_send_hook()
+    kernel.ipi.send(None, cpu, IPIVector.RESCHED)
+    env.run(until=1 * MILLISECONDS)
+    assert kernel.ipi.delivered_count == 1
+
+
+def test_call_function_payload_invoked_on_target():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    called = []
+    kernel.ipi.send(None, cpu, IPIVector.CALL_FUNCTION,
+                    payload=lambda target: called.append(target.cpu_id))
+    env.run(until=1 * MILLISECONDS)
+    assert called == [0]
+
+
+def test_custom_handler_overrides_default():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    hits = []
+    kernel.ipi.register_handler(IPIVector.TAICHI_PREEMPT,
+                                lambda target, payload: hits.append(payload))
+    kernel.ipi.send(None, cpu, IPIVector.TAICHI_PREEMPT, payload="go")
+    env.run(until=1 * MILLISECONDS)
+    assert hits == ["go"]
+
+
+def test_delivery_has_latency():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    at = []
+    kernel.ipi.register_handler(IPIVector.TAICHI_PREEMPT,
+                                lambda target, payload: at.append(env.now))
+    kernel.ipi.send(None, cpu, IPIVector.TAICHI_PREEMPT)
+    env.run(until=1 * MILLISECONDS)
+    assert at == [kernel.ipi.latency_ns]

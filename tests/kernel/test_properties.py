@@ -1,0 +1,95 @@
+"""Property-based tests of scheduler invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Compute, Kernel, KernelSection, SchedClass, Sleep
+from repro.sim import Environment, MICROSECONDS, MILLISECONDS, SECONDS
+
+
+@given(
+    workloads=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=2_000),   # compute us
+            st.integers(min_value=0, max_value=1_000),   # section us
+            st.integers(min_value=0, max_value=500),     # sleep us
+        ),
+        min_size=1, max_size=12,
+    ),
+    n_cpus=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_no_thread_is_ever_lost(workloads, n_cpus):
+    """Every spawned thread eventually exits, whatever the mix."""
+    env = Environment()
+    kernel = Kernel(env)
+    for cpu_id in range(n_cpus):
+        kernel.add_cpu(cpu_id)
+
+    def body(compute_us, section_us, sleep_us):
+        yield Compute(compute_us * MICROSECONDS)
+        if section_us:
+            yield KernelSection(section_us * MICROSECONDS)
+        if sleep_us:
+            yield Sleep(sleep_us * MICROSECONDS)
+        yield Compute(10 * MICROSECONDS)
+
+    threads = [
+        kernel.spawn(f"t{index}", body(*shape))
+        for index, shape in enumerate(workloads)
+    ]
+    env.run(until=10 * SECONDS)
+    assert all(thread.done.triggered for thread in threads)
+    assert kernel.finished_threads == len(workloads)
+
+
+@given(
+    durations=st.lists(st.integers(min_value=10, max_value=5_000),
+                       min_size=2, max_size=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_single_cpu_total_time_conserved(durations):
+    """On one CPU, total busy time >= sum of all compute demands."""
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.add_cpu(0)
+    threads = [
+        kernel.spawn(f"t{index}", iter([Compute(d * MICROSECONDS)]))
+        for index, d in enumerate(durations)
+    ]
+    env.run(until=60 * SECONDS)
+    assert all(thread.done.triggered for thread in threads)
+    total_demand = sum(durations) * MICROSECONDS
+    busy = kernel.cpus[0].busy_ns
+    # Busy time covers all demand plus context switches, bounded above by
+    # demand + switch costs.
+    assert busy >= total_demand
+    overhead_budget = (len(durations) + 5) * 10 * kernel.params.context_switch_ns
+    assert busy <= total_demand + overhead_budget
+
+
+@given(
+    n_rt=st.integers(min_value=1, max_value=3),
+    n_fair=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=20, deadline=None)
+def test_realtime_always_finishes_before_equal_length_fair(n_rt, n_fair):
+    """RT threads spawned together with FAIR ones never finish last."""
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.add_cpu(0)
+    finish = {}
+
+    def body(name):
+        yield Compute(1 * MILLISECONDS)
+        finish[name] = env.now
+
+    for index in range(n_fair):
+        kernel.spawn(f"fair{index}", body(f"fair{index}"))
+    for index in range(n_rt):
+        kernel.spawn(f"rt{index}", body(f"rt{index}"),
+                     sched_class=SchedClass.REALTIME)
+    env.run(until=10 * SECONDS)
+    last_rt = max(v for k, v in finish.items() if k.startswith("rt"))
+    first_fair_exit = min(v for k, v in finish.items() if k.startswith("fair"))
+    assert last_rt <= first_fair_exit + 2 * MILLISECONDS

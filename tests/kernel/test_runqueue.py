@@ -1,0 +1,83 @@
+"""Tests for run queues and scheduling classes."""
+
+from repro.kernel import KThread, RunQueue, SchedClass
+
+
+def make_thread(name, sched_class=SchedClass.FAIR, vruntime=0.0, weight=1.0):
+    thread = KThread(name, iter(()), sched_class=sched_class,
+                     nice_weight=weight)
+    thread.vruntime = vruntime
+    return thread
+
+
+def test_realtime_beats_fair():
+    queue = RunQueue(0)
+    fair = make_thread("fair")
+    rt = make_thread("rt", SchedClass.REALTIME)
+    queue.enqueue(fair)
+    queue.enqueue(rt)
+    assert queue.pick_next() is rt
+    assert queue.pick_next() is fair
+
+
+def test_realtime_is_fifo():
+    queue = RunQueue(0)
+    first = make_thread("a", SchedClass.REALTIME)
+    second = make_thread("b", SchedClass.REALTIME)
+    queue.enqueue(first)
+    queue.enqueue(second)
+    assert queue.pick_next() is first
+    assert queue.pick_next() is second
+
+
+def test_fair_picks_minimum_vruntime():
+    queue = RunQueue(0)
+    slow = make_thread("slow", vruntime=100.0)
+    fresh = make_thread("fresh", vruntime=5.0)
+    queue.enqueue(slow)
+    queue.enqueue(fresh)
+    assert queue.pick_next() is fresh
+
+
+def test_new_arrival_floored_at_min_vruntime():
+    queue = RunQueue(0)
+    queue.min_vruntime = 50.0
+    thread = make_thread("new", vruntime=0.0)
+    queue.enqueue(thread)
+    assert thread.vruntime == 50.0
+
+
+def test_charge_scales_with_weight():
+    queue = RunQueue(0)
+    heavy = make_thread("heavy", weight=2.0)
+    light = make_thread("light", weight=1.0)
+    queue.charge(heavy, 1000)
+    queue.charge(light, 1000)
+    assert heavy.vruntime == 500.0
+    assert light.vruntime == 1000.0
+    assert heavy.total_runtime_ns == light.total_runtime_ns == 1000
+
+
+def test_dequeue_removes_specific_thread():
+    queue = RunQueue(0)
+    thread = make_thread("x")
+    queue.enqueue(thread)
+    assert queue.dequeue(thread)
+    assert not queue.dequeue(thread)
+    assert queue.is_empty
+
+
+def test_peek_class():
+    queue = RunQueue(0)
+    assert queue.peek_class() is None
+    queue.enqueue(make_thread("f"))
+    assert queue.peek_class() is SchedClass.FAIR
+    queue.enqueue(make_thread("r", SchedClass.REALTIME))
+    assert queue.peek_class() is SchedClass.REALTIME
+
+
+def test_len_and_has_realtime():
+    queue = RunQueue(0)
+    assert len(queue) == 0 and not queue.has_realtime
+    queue.enqueue(make_thread("r", SchedClass.REALTIME))
+    assert len(queue) == 1 and queue.has_realtime

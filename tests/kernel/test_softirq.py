@@ -1,0 +1,74 @@
+"""Tests for the softirq subsystem."""
+
+from repro.kernel import Compute, Kernel, SoftirqVector
+from repro.sim import Environment, MICROSECONDS, MILLISECONDS
+
+
+def test_softirq_runs_on_idle_cpu():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    hits = []
+    kernel.softirq.register(SoftirqVector.TASKLET,
+                            lambda target, payload: hits.append(payload))
+    kernel.softirq.raise_softirq(cpu, SoftirqVector.TASKLET, payload=1)
+    env.run(until=1 * MILLISECONDS)
+    assert hits == [1]
+
+
+def test_generator_handler_consumes_cpu_time():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    finished = []
+
+    def handler(target, payload):
+        yield from target.consume(50 * MICROSECONDS)
+        finished.append(env.now)
+
+    kernel.softirq.register(SoftirqVector.TASKLET, handler)
+    kernel.softirq.raise_softirq(cpu, SoftirqVector.TASKLET)
+    env.run(until=1 * MILLISECONDS)
+    assert finished and finished[0] >= 50 * MICROSECONDS
+
+
+def test_softirq_runs_between_instructions_of_current_thread():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    order = []
+    kernel.softirq.register(SoftirqVector.TASKLET,
+                            lambda target, payload: order.append("softirq"))
+
+    def body():
+        yield Compute(100 * MICROSECONDS)
+        kernel.softirq.raise_softirq(cpu, SoftirqVector.TASKLET)
+        yield Compute(100 * MICROSECONDS)
+        order.append("second-compute-done")
+        yield Compute(100 * MICROSECONDS)
+
+    kernel.spawn("t", body())
+    env.run()
+    assert order.index("softirq") < order.index("second-compute-done")
+
+
+def test_unregistered_vector_is_dropped():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    kernel.softirq.raise_softirq(cpu, SoftirqVector.NET_RX)
+    env.run(until=1 * MILLISECONDS)
+    assert kernel.softirq.raised_count == 1
+    assert kernel.softirq.executed_count == 0
+
+
+def test_pending_flag():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    kernel.softirq.register(SoftirqVector.TASKLET, lambda t, p: None)
+    assert not kernel.softirq.pending(cpu)
+    kernel.softirq.raise_softirq(cpu, SoftirqVector.TASKLET)
+    assert kernel.softirq.pending(cpu)
+    env.run(until=1 * MILLISECONDS)
+    assert not kernel.softirq.pending(cpu)

@@ -1,0 +1,80 @@
+"""Tests for spinlock semantics."""
+
+import pytest
+
+from repro.kernel import Kernel, KThread
+from repro.sim import Environment
+
+
+def make(env=None):
+    env = env or Environment()
+    kernel = Kernel(env)
+    return kernel, kernel.spinlock("test")
+
+
+def thread(name):
+    return KThread(name, iter(()))
+
+
+def test_try_acquire_free_lock():
+    kernel, lock = make()
+    owner = thread("t")
+    assert lock.try_acquire(owner)
+    assert lock.locked
+    assert lock.owner is owner
+    assert lock in owner.locks_held
+
+
+def test_try_acquire_held_lock_fails():
+    kernel, lock = make()
+    assert lock.try_acquire(thread("a"))
+    assert not lock.try_acquire(thread("b"))
+
+
+def test_release_hands_off_to_waiter():
+    kernel, lock = make()
+    first, second = thread("a"), thread("b")
+    lock.try_acquire(first)
+    handoff = lock.add_waiter(second)
+    lock.release(first)
+    assert lock.owner is second
+    assert lock in second.locks_held
+    assert lock not in first.locks_held
+    assert handoff.triggered
+
+
+def test_release_without_waiters_frees_lock():
+    kernel, lock = make()
+    owner = thread("a")
+    lock.try_acquire(owner)
+    lock.release(owner)
+    assert not lock.locked
+
+
+def test_release_by_non_owner_rejected():
+    kernel, lock = make()
+    lock.try_acquire(thread("a"))
+    with pytest.raises(RuntimeError):
+        lock.release(thread("b"))
+
+
+def test_waiters_fifo():
+    kernel, lock = make()
+    first, w1, w2 = thread("a"), thread("b"), thread("c")
+    lock.try_acquire(first)
+    lock.add_waiter(w1)
+    lock.add_waiter(w2)
+    lock.release(first)
+    assert lock.owner is w1
+    lock.release(w1)
+    assert lock.owner is w2
+
+
+def test_contention_statistics():
+    kernel, lock = make()
+    first, second = thread("a"), thread("b")
+    lock.try_acquire(first)
+    lock.add_waiter(second)
+    lock.release(first)
+    assert lock.acquisitions == 2
+    assert lock.contentions == 1

@@ -1,0 +1,64 @@
+"""Tests for the ASCII scheduling-trace renderer."""
+
+import pytest
+
+from repro.metrics import Timeline, occupancy_spans, render_gantt
+
+
+def make_timeline():
+    timeline = Timeline()
+    timeline.record(0, 0, "sched_in", thread="alpha")
+    timeline.record(500, 0, "sched_out", thread="alpha", outcome="blocked")
+    timeline.record(600, 0, "vmenter", vcpu="v0")
+    timeline.record(900, 0, "vmexit", vcpu="v0", reason="halt")
+    timeline.record(100, 1, "sched_in", thread="beta")
+    timeline.record(1000, 1, "sched_out", thread="beta", outcome="exited")
+    return timeline
+
+
+def test_occupancy_spans_pairs_events():
+    spans = occupancy_spans(make_timeline())
+    assert spans[0] == [(0, 500, "a"), (600, 900, "v")]
+    assert spans[1] == [(100, 1000, "b")]
+
+
+def test_open_span_clipped_at_horizon():
+    timeline = Timeline()
+    timeline.record(100, 0, "sched_in", thread="x")
+    spans = occupancy_spans(timeline, start_ns=0, end_ns=1000)
+    assert spans[0] == [(100, 1000, "x")]
+
+
+def test_render_has_one_row_per_cpu():
+    text = render_gantt(make_timeline(), 0, 1000, width=50)
+    lines = text.splitlines()
+    assert any(line.startswith("cpu 0") for line in lines)
+    assert any(line.startswith("cpu 1") for line in lines)
+
+
+def test_render_marks_threads_vcpus_and_idle():
+    text = render_gantt(make_timeline(), 0, 1000, width=50)
+    row0 = next(line for line in text.splitlines() if line.startswith("cpu 0"))
+    assert "a" in row0
+    assert "v" in row0
+    assert "." in row0
+
+
+def test_render_rejects_empty_window():
+    with pytest.raises(ValueError):
+        render_gantt(make_timeline(), 100, 100)
+
+
+def test_executor_emits_trace_events():
+    from repro.kernel import Compute, Kernel
+    from repro.sim import Environment
+
+    timeline = Timeline()
+    env = Environment()
+    kernel = Kernel(env, tracer=timeline)
+    kernel.add_cpu(0)
+    kernel.spawn("worker", iter([Compute(1000)]))
+    env.run()
+    kinds = [event.kind for event in timeline]
+    assert "sched_in" in kinds
+    assert "sched_out" in kinds

@@ -1,0 +1,123 @@
+"""Tests for the metrics utilities."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import Cdf, Histogram, LatencyRecorder, RateMeter, WelfordStats, percentile
+
+
+def test_welford_matches_numpy():
+    values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    stats = WelfordStats()
+    for value in values:
+        stats.add(value)
+    assert stats.count == len(values)
+    assert stats.mean == pytest.approx(np.mean(values))
+    assert stats.variance == pytest.approx(np.var(values))
+    assert stats.min == min(values)
+    assert stats.max == max(values)
+
+
+def test_welford_merge_equals_single_pass():
+    rng = np.random.default_rng(0)
+    a_values = rng.normal(size=100)
+    b_values = rng.normal(loc=3.0, size=50)
+    merged = WelfordStats()
+    for value in list(a_values) + list(b_values):
+        merged.add(value)
+    a = WelfordStats()
+    for value in a_values:
+        a.add(value)
+    b = WelfordStats()
+    for value in b_values:
+        b.add(value)
+    a.merge(b)
+    assert a.count == merged.count
+    assert a.mean == pytest.approx(merged.mean)
+    assert a.variance == pytest.approx(merged.variance)
+
+
+def test_empty_welford_safe():
+    stats = WelfordStats()
+    assert stats.mean == 0.0
+    assert stats.variance == 0.0
+
+
+def test_percentile_interpolation():
+    assert percentile([1, 2, 3, 4], 50) == 2.5
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_latency_recorder_summary():
+    recorder = LatencyRecorder(cap=1000)
+    for value in range(1, 101):
+        recorder.record(value)
+    summary = recorder.summary()
+    assert summary["count"] == 100
+    assert summary["min"] == 1
+    assert summary["max"] == 100
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["mdev"] > 0
+
+
+def test_latency_recorder_reservoir_respects_cap():
+    recorder = LatencyRecorder(cap=100)
+    for value in range(1000):
+        recorder.record(value)
+    assert len(recorder.samples) == 100
+    assert recorder.count == 1000
+    assert recorder.max == 999
+
+
+def test_histogram_bucketing():
+    histogram = Histogram([10, 20, 30])
+    for value in (5, 15, 25, 35, 10):
+        histogram.add(value)
+    assert histogram.counts == [1, 2, 1, 1]
+    assert histogram.total == 5
+    assert len(histogram.bucket_labels()) == 4
+
+
+def test_cdf_fraction_and_quantile():
+    cdf = Cdf(range(1, 101))
+    assert cdf.fraction_below(50) == 0.50
+    assert cdf.quantile(0.99) == pytest.approx(np.quantile(range(1, 101), 0.99))
+    assert cdf.points(5)[-1][1] == 1.0
+
+
+def test_empty_cdf():
+    cdf = Cdf()
+    assert cdf.fraction_below(10) == 0.0
+    assert cdf.points() == []
+
+
+def test_rate_meter():
+    meter = RateMeter()
+    meter.start(0)
+    for t_ns in (100, 200, 300):
+        meter.add(t_ns, nbytes=10)
+    assert meter.count == 3
+    assert meter.per_second(1_000_000_000) == pytest.approx(3.0)
+    assert meter.bytes_per_second(1_000_000_000) == pytest.approx(30.0)
+
+
+def test_rate_meter_zero_duration():
+    meter = RateMeter()
+    assert meter.per_second() == 0.0
+
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_welford_agrees_with_numpy_property(values):
+    stats = WelfordStats()
+    for value in values:
+        stats.add(value)
+    assert stats.mean == pytest.approx(float(np.mean(values)), abs=1e-6, rel=1e-9)
+    assert math.isclose(stats.variance, float(np.var(values)),
+                        rel_tol=1e-6, abs_tol=1e-5)

@@ -1,0 +1,38 @@
+"""Tests for timeline capture."""
+
+from repro.metrics import Timeline
+
+
+def test_record_and_filter():
+    timeline = Timeline()
+    timeline.record(10, 0, "enqueue", thread="a")
+    timeline.record(20, 1, "enqueue", thread="b")
+    timeline.record(30, 0, "dequeue", thread="a")
+    assert len(timeline) == 3
+    assert len(timeline.filter(kind="enqueue")) == 2
+    assert len(timeline.filter(cpu_id=0)) == 2
+    assert len(timeline.filter(kind="enqueue", cpu_id=0)) == 1
+
+
+def test_cap_drops_excess():
+    timeline = Timeline(cap=2)
+    for ts in range(5):
+        timeline.record(ts, 0, "x")
+    assert len(timeline) == 2
+    assert timeline.dropped == 3
+
+
+def test_spans_pairing():
+    timeline = Timeline()
+    timeline.record(10, 0, "start")
+    timeline.record(25, 0, "end")
+    timeline.record(30, 1, "start")
+    timeline.record(40, 1, "end")
+    assert timeline.spans("start", "end") == [(10, 25), (30, 40)]
+    assert timeline.spans("start", "end", cpu_id=1) == [(30, 40)]
+
+
+def test_event_str():
+    timeline = Timeline()
+    timeline.record(10, 0, "kind", detail_a=1)
+    assert "kind" in str(timeline.events[0])

@@ -1,0 +1,120 @@
+"""Tests for event primitives."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.events import AllOf, AnyOf
+
+
+def test_event_lifecycle_flags():
+    env = Environment()
+    event = env.event()
+    assert not event.triggered and not event.processed
+    event.succeed("v")
+    assert event.triggered and not event.processed
+    env.run()
+    assert event.processed
+    assert event.value == "v"
+
+
+def test_event_value_unavailable_before_trigger():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_double_succeed_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_failed_event_propagates_into_process():
+    env = Environment()
+    event = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(exc)
+
+    env.process(proc(env))
+    event.fail(ValueError("nope"))
+    env.run()
+    assert len(caught) == 1
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    t1, t2 = env.timeout(5, value="a"), env.timeout(9, value="b")
+    done = {}
+
+    def proc(env):
+        result = yield AllOf(env, [t1, t2])
+        done["at"] = env.now
+        done["values"] = [result[t1], result[t2]]
+
+    env.process(proc(env))
+    env.run()
+    assert done["at"] == 9
+    assert done["values"] == ["a", "b"]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    t1, t2 = env.timeout(5, value="fast"), env.timeout(9, value="slow")
+    done = {}
+
+    def proc(env):
+        result = yield AnyOf(env, [t1, t2])
+        done["at"] = env.now
+        done["has_fast"] = t1 in result
+
+    env.process(proc(env))
+    env.run()
+    assert done["at"] == 5
+    assert done["has_fast"]
+
+
+def test_all_of_empty_list_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield AllOf(env, [])
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [0]
+
+
+def test_condition_with_already_processed_event():
+    env = Environment()
+    timeout = env.timeout(1, value="x")
+    env.run()
+    done = {}
+
+    def proc(env):
+        result = yield AnyOf(env, [timeout])
+        done["value"] = result[timeout]
+
+    env.process(proc(env))
+    env.run()
+    assert done["value"] == "x"

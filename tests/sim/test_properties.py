@@ -1,0 +1,80 @@
+"""Property-based tests on the simulation engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Store
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10_000),
+                       min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        env.timeout(delay).callbacks.append(
+            lambda event, d=delay: fired.append((env.now, d))
+        )
+    env.run()
+    times = [time for time, _ in fired]
+    assert times == sorted(times)
+    assert sorted(d for _, d in fired) == sorted(delays)
+    assert env.now == max(delays)
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_store_preserves_fifo_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    def producer(env):
+        for item in items:
+            yield env.timeout(1)
+            yield store.put(item)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert received == items
+
+
+@given(
+    delays=st.lists(st.integers(min_value=1, max_value=1000),
+                    min_size=1, max_size=20),
+    interrupt_at=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_interrupted_waits_account_full_duration(delays, interrupt_at):
+    """A process that re-waits after interrupts finishes at the exact sum."""
+    env = Environment()
+    done = {}
+
+    def worker(env):
+        from repro.sim import Interrupt
+
+        for delay in delays:
+            target = env.timeout(delay)
+            while not target.processed:
+                try:
+                    yield target
+                except Interrupt:
+                    continue
+        done["at"] = env.now
+
+    def interrupter(env, victim):
+        yield env.timeout(interrupt_at)
+        if victim.is_alive:
+            victim.interrupt("poke")
+
+    worker_proc = env.process(worker(env))
+    env.process(interrupter(env, worker_proc))
+    env.run()
+    assert done["at"] == sum(delays)

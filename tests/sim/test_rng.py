@@ -1,0 +1,41 @@
+"""Tests for seeded random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(seed=7).stream("x").random(5)
+    b = RandomStreams(seed=7).stream("x").random(5)
+    assert list(a) == list(b)
+
+
+def test_different_names_independent():
+    streams = RandomStreams(seed=7)
+    a = streams.stream("a").random(5)
+    b = streams.stream("b").random(5)
+    assert list(a) != list(b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).stream("x").random(5)
+    b = RandomStreams(seed=2).stream("x").random(5)
+    assert list(a) != list(b)
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=3)
+    assert streams.stream("q") is streams.stream("q")
+
+
+def test_adding_streams_does_not_perturb_existing():
+    first = RandomStreams(seed=9)
+    first.stream("other")  # extra stream created before "x" is used
+    with_extra = first.stream("x").random(5)
+    clean = RandomStreams(seed=9).stream("x").random(5)
+    assert list(with_extra) == list(clean)
+
+
+def test_spawn_derives_deterministic_child():
+    a = RandomStreams(seed=5).spawn("child").stream("s").random(3)
+    b = RandomStreams(seed=5).spawn("child").stream("s").random(3)
+    assert list(a) == list(b)

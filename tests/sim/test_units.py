@@ -1,0 +1,33 @@
+"""Tests for time-unit helpers."""
+
+from repro.sim.units import (
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    SECONDS,
+    ns_to_ms,
+    ns_to_s,
+    ns_to_us,
+    s_to_ns,
+)
+
+
+def test_unit_ratios():
+    assert MICROSECONDS == 1_000 * NANOSECONDS
+    assert MILLISECONDS == 1_000 * MICROSECONDS
+    assert SECONDS == 1_000 * MILLISECONDS
+
+
+def test_round_trip_conversion():
+    assert s_to_ns(1.5) == 1_500_000_000
+    assert ns_to_s(s_to_ns(0.25)) == 0.25
+
+
+def test_fractional_seconds_rounded():
+    assert s_to_ns(1e-9) == 1
+    assert s_to_ns(1.49e-9) == 1
+
+
+def test_derived_conversions():
+    assert ns_to_us(2_500) == 2.5
+    assert ns_to_ms(3_000_000) == 3.0

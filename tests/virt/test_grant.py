@@ -1,0 +1,63 @@
+"""Tests for backing grants."""
+
+from repro.kernel import Kernel
+from repro.sim import Environment, MICROSECONDS
+from repro.virt import BackingGrant, VirtualCPU, VMExitReason
+
+
+def make():
+    env = Environment()
+    kernel = Kernel(env)
+    pcpu = kernel.add_cpu(0)
+    vcpu = VirtualCPU(kernel, "v0", online=False)
+    return env, pcpu, vcpu
+
+
+def test_expiry_fires_after_slice():
+    env, pcpu, vcpu = make()
+    grant = BackingGrant(env, pcpu, vcpu, 50 * MICROSECONDS)
+    env.run(until=100 * MICROSECONDS)
+    assert grant.expired.processed
+    assert grant.resolve_end_reason() is VMExitReason.TIMESLICE_EXPIRED
+
+
+def test_revoke_request_beats_expiry():
+    env, pcpu, vcpu = make()
+    grant = BackingGrant(env, pcpu, vcpu, 50 * MICROSECONDS)
+    grant.request_revoke(VMExitReason.HW_PROBE_IRQ)
+    env.run(until=100 * MICROSECONDS)
+    assert grant.resolve_end_reason() is VMExitReason.HW_PROBE_IRQ
+
+
+def test_halt_resolution():
+    env, pcpu, vcpu = make()
+    grant = BackingGrant(env, pcpu, vcpu, 50 * MICROSECONDS)
+    grant.signal_halt()
+    assert grant.resolve_end_reason() is VMExitReason.HALT
+
+
+def test_duplicate_signals_are_idempotent():
+    env, pcpu, vcpu = make()
+    grant = BackingGrant(env, pcpu, vcpu, 50 * MICROSECONDS)
+    grant.request_revoke()
+    grant.request_revoke()
+    grant.signal_halt()
+    grant.signal_halt()
+    assert grant.resolve_end_reason() is VMExitReason.HW_PROBE_IRQ
+
+
+def test_finish_records_reason_and_time():
+    env, pcpu, vcpu = make()
+    grant = BackingGrant(env, pcpu, vcpu, 50 * MICROSECONDS)
+    assert grant.active
+    grant.finish(VMExitReason.HALT)
+    assert not grant.active
+    assert grant.end_reason is VMExitReason.HALT
+    assert grant.ended_at_ns == env.now
+
+
+def test_costs_switch_total():
+    from repro.virt import VirtCosts
+
+    costs = VirtCosts(vmenter_ns=800, vmexit_ns=1_200)
+    assert costs.switch_total_ns == 2_000

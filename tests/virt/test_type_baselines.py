@@ -1,0 +1,45 @@
+"""Shape tests for the type-1/type-2 baseline models under saturation."""
+
+import pytest
+
+from repro.baselines import (
+    StaticPartitionDeployment,
+    TaiChiDeployment,
+    TaiChiVDPDeployment,
+    Type2Deployment,
+)
+from repro.sim import MILLISECONDS
+from repro.workloads import run_tcp_crr
+
+
+@pytest.fixture(scope="module")
+def saturated_cps():
+    results = {}
+    for name, cls in (("static", StaticPartitionDeployment),
+                      ("taichi", TaiChiDeployment),
+                      ("vdp", TaiChiVDPDeployment),
+                      ("type2", Type2Deployment)):
+        deployment = cls(seed=23)
+        deployment.warmup()
+        results[name] = run_tcp_crr(deployment, 15 * MILLISECONDS,
+                                    n_connections=384)["cps"]
+    return results
+
+
+def test_taichi_matches_baseline_under_saturation(saturated_cps):
+    assert saturated_cps["taichi"] >= saturated_cps["static"] * 0.98
+
+
+def test_vdp_pays_the_guest_tax(saturated_cps):
+    ratio = saturated_cps["vdp"] / saturated_cps["static"]
+    assert 0.88 < ratio < 0.97  # paper: ~8% degradation
+
+
+def test_type2_pays_cpu_loss_and_emulation(saturated_cps):
+    ratio = saturated_cps["type2"] / saturated_cps["static"]
+    assert 0.68 < ratio < 0.85  # paper: ~26% degradation
+
+
+def test_ordering_matches_table2(saturated_cps):
+    assert (saturated_cps["type2"] < saturated_cps["vdp"]
+            < saturated_cps["taichi"] * 1.001)

@@ -1,0 +1,113 @@
+"""Tests for virtual CPUs: grants, revocation, freezing."""
+
+import pytest
+
+from repro.kernel import Compute, Kernel, KernelSection
+from repro.sim import Environment, MICROSECONDS, MILLISECONDS
+from repro.virt import BackingGrant, VirtualCPU, VMExitReason
+
+
+def make_board():
+    env = Environment()
+    kernel = Kernel(env)
+    pcpu = kernel.add_cpu(0)
+    vcpu = kernel.add_cpu("v0", online=False, cpu_cls=VirtualCPU)
+    kernel.boot_cpu("v0")
+    env.run(until=1 * MILLISECONDS)
+    assert vcpu.online
+    return env, kernel, pcpu, vcpu
+
+
+def test_vcpu_does_not_advance_without_backing():
+    env, kernel, pcpu, vcpu = make_board()
+    thread = kernel.spawn("t", iter([Compute(100 * MICROSECONDS)]),
+                          affinity={"v0"})
+    env.run(until=10 * MILLISECONDS)
+    assert not thread.done.triggered
+    assert vcpu.busy_ns == 0
+
+
+def test_backed_vcpu_executes_work():
+    env, kernel, pcpu, vcpu = make_board()
+    thread = kernel.spawn("t", iter([Compute(100 * MICROSECONDS)]),
+                          affinity={"v0"})
+    grant = BackingGrant(env, pcpu, vcpu, 10 * MILLISECONDS)
+    vcpu.set_backing(grant)
+    env.run(until=5 * MILLISECONDS)
+    assert thread.done.triggered
+    assert vcpu.busy_ns >= 100 * MICROSECONDS
+
+
+def test_double_backing_rejected():
+    env, kernel, pcpu, vcpu = make_board()
+    vcpu.set_backing(BackingGrant(env, pcpu, vcpu, MILLISECONDS))
+    with pytest.raises(RuntimeError):
+        vcpu.set_backing(BackingGrant(env, pcpu, vcpu, MILLISECONDS))
+
+
+def test_revoke_freezes_mid_nonpreemptible_section():
+    env, kernel, pcpu, vcpu = make_board()
+    thread = kernel.spawn("t", iter([KernelSection(4 * MILLISECONDS)]),
+                          affinity={"v0"})
+
+    def driver(env):
+        vcpu.set_backing(BackingGrant(env, pcpu, vcpu, 100 * MILLISECONDS))
+        yield env.timeout(1 * MILLISECONDS)
+        vcpu.revoke(VMExitReason.HW_PROBE_IRQ)   # mid-section!
+        yield env.timeout(2 * MILLISECONDS)      # frozen window
+        assert not thread.done.triggered
+        vcpu.set_backing(BackingGrant(env, pcpu, vcpu, 100 * MILLISECONDS))
+
+    env.process(driver(env))
+    env.run(until=20 * MILLISECONDS)
+    assert thread.done.triggered
+    assert vcpu.frozen_ns >= 2 * MILLISECONDS
+    # Busy time counts only execution, not the freeze.
+    assert vcpu.busy_ns < 4 * MILLISECONDS + 500 * MICROSECONDS
+
+
+def test_halt_signal_when_out_of_work():
+    env, kernel, pcpu, vcpu = make_board()
+    kernel.spawn("t", iter([Compute(50 * MICROSECONDS)]), affinity={"v0"})
+    grant = BackingGrant(env, pcpu, vcpu, 100 * MILLISECONDS)
+    vcpu.set_backing(grant)
+    env.run(until=grant.halted)
+    assert grant.halted.triggered
+    assert vcpu.halt_signals >= 1
+
+
+def test_revoke_without_backing_is_noop():
+    env, kernel, pcpu, vcpu = make_board()
+    vcpu.revoke(VMExitReason.EXTERNAL)
+    assert vcpu.revocations == 0
+
+
+def test_backed_time_accounted_on_revoke():
+    env, kernel, pcpu, vcpu = make_board()
+    kernel.spawn("t", iter([Compute(50 * MILLISECONDS)]), affinity={"v0"})
+
+    def driver(env):
+        vcpu.set_backing(BackingGrant(env, pcpu, vcpu, 100 * MILLISECONDS))
+        yield env.timeout(3 * MILLISECONDS)
+        vcpu.revoke(VMExitReason.TIMESLICE_EXPIRED)
+
+    env.process(driver(env))
+    env.run(until=10 * MILLISECONDS)
+    assert vcpu.backed_ns == 3 * MILLISECONDS
+    assert vcpu.revocations == 1
+
+
+def test_holds_any_lock_reflects_thread_locks():
+    env, kernel, pcpu, vcpu = make_board()
+    lock = kernel.spinlock("l")
+    from repro.kernel import LockAcquire, LockRelease, Sleep
+
+    def body():
+        yield LockAcquire(lock)
+        yield Sleep(5 * MILLISECONDS)
+        yield LockRelease(lock)
+
+    kernel.spawn("t", body(), affinity={"v0"})
+    vcpu.set_backing(BackingGrant(env, pcpu, vcpu, 100 * MILLISECONDS))
+    env.run(until=2 * MILLISECONDS)
+    assert vcpu.holds_any_lock or lock.locked

@@ -1,0 +1,51 @@
+"""Calibration tests for the synthetic production traces."""
+
+from repro.sim import MILLISECONDS
+from repro.workloads import (
+    generate_dp_utilization_trace,
+    generate_nonpreemptible_census,
+)
+
+
+def test_utilization_cdf_calibrated_to_figure3():
+    cdf = generate_dp_utilization_trace(n_samples=200_000, seed=0)
+    fraction = cdf.fraction_below(0.325)
+    assert 0.994 <= fraction <= 0.999  # paper: 99.68%
+
+
+def test_utilization_values_in_unit_range():
+    cdf = generate_dp_utilization_trace(n_samples=10_000, seed=1)
+    assert all(0.0 <= value <= 1.0 for value in cdf.samples)
+
+
+def test_utilization_has_burst_tail():
+    cdf = generate_dp_utilization_trace(n_samples=200_000, seed=2)
+    assert max(cdf.samples) > 0.5  # peak episodes exist
+
+
+def test_census_band_fraction_matches_figure5():
+    histogram, long_tail = generate_nonpreemptible_census(
+        n_routines=200_000, seed=0)
+    in_band = sum(1 for v in long_tail
+                  if 1 * MILLISECONDS <= v < 5 * MILLISECONDS)
+    fraction = in_band / len(long_tail)
+    assert 0.93 <= fraction <= 0.96  # paper: 94.5%
+
+
+def test_census_max_capped_at_67ms():
+    _, long_tail = generate_nonpreemptible_census(n_routines=100_000, seed=1)
+    assert max(long_tail) <= 67 * MILLISECONDS
+
+
+def test_census_histogram_totals():
+    histogram, long_tail = generate_nonpreemptible_census(
+        n_routines=50_000, seed=2)
+    assert histogram.total == 50_000
+    assert sum(histogram.counts) == 50_000
+    assert len(long_tail) < 50_000
+
+
+def test_reproducible_with_seed():
+    a = generate_dp_utilization_trace(n_samples=1_000, seed=7).samples
+    b = generate_dp_utilization_trace(n_samples=1_000, seed=7).samples
+    assert a == b

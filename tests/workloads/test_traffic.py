@@ -1,0 +1,89 @@
+"""Tests for the shared traffic generators."""
+
+import pytest
+
+from repro.baselines import StaticPartitionDeployment
+from repro.sim import MILLISECONDS
+from repro.workloads.traffic import (
+    ClosedLoopClients,
+    OpenLoopSource,
+    StorageClients,
+    service_queue_ids,
+)
+
+
+@pytest.fixture
+def deployment():
+    dep = StaticPartitionDeployment(seed=9)
+    dep.warmup()
+    return dep
+
+
+def test_service_queue_ids_one_per_service(deployment):
+    queues = service_queue_ids(deployment)
+    assert len(queues) == len(deployment.services)
+    assert len(set(queues)) == len(queues)
+
+
+def test_open_loop_rate_approximately_honored(deployment):
+    source = OpenLoopSource(deployment, rate_pps=100_000, size_bytes=256,
+                            service_ns=1_000)
+    source.start(50 * MILLISECONDS)
+    deployment.run(deployment.env.now + 55 * MILLISECONDS)
+    sent_rate = source.sent.per_second(50 * MILLISECONDS)
+    assert 80_000 < sent_rate < 120_000
+
+
+def test_open_loop_latency_recorded(deployment):
+    source = OpenLoopSource(deployment, rate_pps=10_000, size_bytes=256,
+                            service_ns=1_000)
+    source.start(20 * MILLISECONDS)
+    deployment.run(deployment.env.now + 25 * MILLISECONDS)
+    assert source.latency.count > 50
+    assert source.latency.mean > 3_200  # at least the accelerator window
+
+
+def test_open_loop_without_latency_measurement(deployment):
+    source = OpenLoopSource(deployment, rate_pps=10_000, size_bytes=256,
+                            service_ns=1_000, measure_latency=False)
+    source.start(10 * MILLISECONDS)
+    deployment.run(deployment.env.now + 12 * MILLISECONDS)
+    assert source.latency.count == 0
+    assert source.sent.count > 0
+
+
+def test_closed_loop_transaction_accounting(deployment):
+    clients = ClosedLoopClients(deployment, n_clients=8, packets_per_txn=2,
+                                size_bytes=128, service_ns=1_000)
+    clients.start(20 * MILLISECONDS)
+    deployment.run(deployment.env.now + 20 * MILLISECONDS)
+    assert clients.transactions.count > 0
+    assert clients.packets.count >= clients.transactions.count * 2
+    assert clients.txn_latency.count == clients.transactions.count
+
+
+def test_closed_loop_think_time_lowers_rate(deployment):
+    fast = ClosedLoopClients(deployment, n_clients=4, packets_per_txn=1,
+                             size_bytes=64, service_ns=1_000)
+    fast.start(20 * MILLISECONDS)
+    deployment.run(deployment.env.now + 20 * MILLISECONDS)
+
+    slow_dep = StaticPartitionDeployment(seed=9)
+    slow_dep.warmup()
+    slow = ClosedLoopClients(slow_dep, n_clients=4, packets_per_txn=1,
+                             size_bytes=64, service_ns=1_000,
+                             think_ns=500_000)
+    slow.start(20 * MILLISECONDS)
+    slow_dep.run(slow_dep.env.now + 20 * MILLISECONDS)
+    assert slow.transactions.count < fast.transactions.count
+
+
+def test_storage_clients_keep_iodepth_in_flight():
+    deployment = StaticPartitionDeployment(seed=9, dp_kind="storage")
+    deployment.warmup()
+    clients = StorageClients(deployment, n_jobs=2, iodepth=4,
+                             block_bytes=4096, service_ns=2_000)
+    clients.start(20 * MILLISECONDS)
+    deployment.run(deployment.env.now + 20 * MILLISECONDS)
+    assert clients.completed.count > 8
+    assert clients.io_latency.count == clients.completed.count

@@ -1,0 +1,110 @@
+"""Short-run smoke + shape tests for each Table 3 workload."""
+
+import pytest
+
+from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
+from repro.sim import MILLISECONDS
+from repro.workloads import (
+    run_fio,
+    run_mysql,
+    run_nginx,
+    run_ping,
+    run_sockperf_tcp,
+    run_sockperf_udp,
+    run_synth_cp,
+    run_tcp_crr,
+    run_tcp_rr,
+    run_tcp_stream,
+    run_udp_stream,
+)
+
+DURATION = 10 * MILLISECONDS
+
+
+@pytest.fixture
+def net_deployment():
+    deployment = StaticPartitionDeployment(seed=3)
+    deployment.warmup()
+    return deployment
+
+
+def test_udp_stream_reports_bandwidth(net_deployment):
+    result = run_udp_stream(net_deployment, DURATION)
+    assert result["avg_rx_bw_gbps"] > 0
+    assert result["avg_rx_pps"] > 0
+
+
+def test_tcp_stream_reports_both_directions(net_deployment):
+    result = run_tcp_stream(net_deployment, DURATION)
+    assert result["avg_tx_pps"] > 0
+    assert result["avg_rx_pps"] > 0
+
+
+def test_tcp_rr_closed_loop(net_deployment):
+    result = run_tcp_rr(net_deployment, DURATION, n_connections=64)
+    assert result["rr_per_s"] > 0
+    assert result["avg_rx_pps"] == result["rr_per_s"]
+
+
+def test_tcp_crr_counts_four_packets_per_conn(net_deployment):
+    result = run_tcp_crr(net_deployment, DURATION, n_connections=64)
+    total_pps = result["avg_rx_pps"] + result["avg_tx_pps"]
+    assert total_pps == pytest.approx(result["cps"] * 4, rel=0.01)
+
+
+def test_sockperf_tcp(net_deployment):
+    result = run_sockperf_tcp(net_deployment, DURATION, n_connections=64)
+    assert result["cps"] > 0
+
+
+def test_sockperf_udp_percentiles_ordered(net_deployment):
+    result = run_sockperf_udp(net_deployment, DURATION, rate_pps=50_000)
+    assert result["udp_avg_lat_ns"] > 0
+    assert (result["udp_avg_lat_ns"] <= result["udp_p99_lat_ns"]
+            <= result["udp_p999_lat_ns"])
+
+
+def test_ping_statistics_ordered(net_deployment):
+    result = run_ping(net_deployment, DURATION, interval_ns=500_000)
+    assert result["count"] > 5
+    assert result["min_ns"] <= result["avg_ns"] <= result["max_ns"]
+    assert result["mdev_ns"] >= 0
+
+
+def test_fio_requires_storage_deployment(net_deployment):
+    with pytest.raises(ValueError):
+        run_fio(net_deployment, DURATION)
+
+
+def test_fio_reports_iops():
+    deployment = StaticPartitionDeployment(seed=3, dp_kind="storage")
+    deployment.warmup()
+    result = run_fio(deployment, DURATION)
+    assert result["iops"] > 0
+    assert result["bw_mbps"] == pytest.approx(result["iops"] * 4096 / 1e6)
+
+
+def test_mysql_metrics_consistent(net_deployment):
+    result = run_mysql(net_deployment, DURATION, n_threads=32)
+    assert result["avg_query_per_s"] > 0
+    assert result["max_query_per_s"] >= result["avg_query_per_s"] * 0.5
+    assert result["avg_trans_per_s"] == pytest.approx(
+        result["avg_query_per_s"] / 10)
+
+
+def test_nginx_http_and_https(net_deployment):
+    http = run_nginx(net_deployment, DURATION, protocol="http",
+                     max_clients=64)
+    deployment2 = StaticPartitionDeployment(seed=3)
+    deployment2.warmup()
+    https = run_nginx(deployment2, DURATION, protocol="https",
+                      max_clients=64)
+    assert http["requests_per_s"] > 0
+    # HTTPS does handshake packets per request: strictly fewer requests/s.
+    assert https["requests_per_s"] < http["requests_per_s"]
+
+
+def test_synth_cp_taichi_beats_static():
+    static = run_synth_cp(StaticPartitionDeployment(seed=5), 16, rounds=1)
+    taichi = run_synth_cp(TaiChiDeployment(seed=5), 16, rounds=1)
+    assert taichi["avg_exec_ms"] < static["avg_exec_ms"]
