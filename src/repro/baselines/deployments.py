@@ -2,7 +2,7 @@
 
 from repro.core import TaiChi, TaiChiConfig
 from repro.dp import DPServiceParams, deploy_dp_services
-from repro.hw import BoardConfig, SmartNIC
+from repro.hw import SmartNIC
 from repro.sim import Environment, RandomStreams
 
 
@@ -18,11 +18,10 @@ class Deployment:
     name = "base"
 
     def __init__(self, seed=0, board_config=None, dp_kind="net",
-                 dp_params=None, dp_cpu_ids=None, tracer=None):
+                 dp_params=None, dp_cpu_ids=None):
         self.env = Environment()
         self.rng = RandomStreams(seed=seed)
-        self.board = SmartNIC(self.env, config=board_config, rng=self.rng,
-                              tracer=tracer)
+        self.board = SmartNIC(self.env, config=board_config, rng=self.rng)
         self.dp_kind = dp_kind
         self.dp_params = dp_params or DPServiceParams()
         self.taichi = None

@@ -35,6 +35,7 @@ class UnifiedIPIOrchestrator:
 
     def install(self):
         self.kernel.ipi.set_send_hook(self.route)
+        self.kernel.env.metrics.add_source("core.ipi_orchestrator", self.stats)
 
     def uninstall(self):
         self.kernel.ipi.clear_send_hook()
@@ -65,7 +66,8 @@ class UnifiedIPIOrchestrator:
     def route(self, src_cpu, dst_cpu, vector, payload):
         """The send hook; returns True when the IPI was handled here."""
         extra_latency = 0
-        if isinstance(src_cpu, VirtualCPU) and src_cpu.is_backed:
+        source_exit = isinstance(src_cpu, VirtualCPU) and src_cpu.is_backed
+        if source_exit:
             # Source phase: a guest-initiated IPI VM-exits, the scheduler
             # reissues it, and the vCPU re-enters — modeled as added latency.
             self.source_exits += 1
@@ -73,6 +75,7 @@ class UnifiedIPIOrchestrator:
 
         if not isinstance(dst_cpu, VirtualCPU):
             self.routed_to_pcpu += 1
+            self._trace_route(src_cpu, dst_cpu, vector, "pcpu", source_exit)
             if extra_latency == 0:
                 return False  # plain pCPU->pCPU: default MSR-write path
             self.kernel.ipi.deliver(
@@ -84,6 +87,7 @@ class UnifiedIPIOrchestrator:
         # Destination phase: vCPU target.
         self.routed_to_vcpu += 1
         if vector in (IPIVector.INIT, IPIVector.STARTUP):
+            self._trace_route(src_cpu, dst_cpu, vector, "boot", source_exit)
             self.kernel.ipi.deliver(
                 dst_cpu, vector, payload,
                 latency_ns=self.kernel.ipi.latency_ns + extra_latency,
@@ -93,14 +97,28 @@ class UnifiedIPIOrchestrator:
         if dst_cpu.is_backed and self.posted_interrupts:
             # Running vCPU: inject without a VM-exit.
             latency = self.costs.posted_interrupt_inject_ns + extra_latency
+            self._trace_route(src_cpu, dst_cpu, vector, "posted", source_exit)
         else:
             latency = self.kernel.ipi.latency_ns + extra_latency
             if dst_cpu.online and not dst_cpu.is_backed:
                 # Sleeping vCPU: wake it so the interrupt can be handled.
                 self.vcpu_wakeups += 1
+                self._trace_route(src_cpu, dst_cpu, vector, "wake",
+                                  source_exit)
                 self.scheduler._on_vcpu_work(dst_cpu)
+            else:
+                self._trace_route(src_cpu, dst_cpu, vector, "inject",
+                                  source_exit)
         self.kernel.ipi.deliver(dst_cpu, vector, payload, latency_ns=latency)
         return True
+
+    def _trace_route(self, src_cpu, dst_cpu, vector, decision, source_exit):
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.record(self.kernel.env.now,
+                          getattr(src_cpu, "cpu_id", "-"), "ipi_route",
+                          dst=dst_cpu.cpu_id, vector=vector.value,
+                          decision=decision, source_exit=source_exit)
 
     def stats(self):
         return {

@@ -46,6 +46,14 @@ class SoftwareWorkloadProbe:
         else:
             return
         self._thresholds[service] = updated
+        # Unit tests drive this with bare fake schedulers; only trace when
+        # wired to a real kernel.
+        kernel = getattr(self.scheduler, "kernel", None)
+        if updated != current and kernel is not None and kernel.tracer.enabled:
+            kernel.tracer.record(self.scheduler.env.now, service.cpu_id,
+                                 "threshold_adapt", service=service.name,
+                                 old=current, new=updated,
+                                 reason=exit_reason.value)
 
     def stats(self):
         return {

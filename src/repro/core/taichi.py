@@ -37,6 +37,7 @@ class TaiChi:
             raise RuntimeError("Tai Chi is already installed on this board")
         self.scheduler.install()
         self.orchestrator.install()
+        self.env.metrics.add_source("core.sw_probe", self.sw_probe.stats)
         count = n_vcpus if n_vcpus is not None else self.config.n_vcpus
         self.vcpus = self.orchestrator.register_vcpus(count)
         self.installed = True

@@ -66,6 +66,7 @@ class VCPUScheduler:
             cpu.work_callback = self._on_pcpu_pressure
         if self.hw_probe is not None:
             self.hw_probe.set_irq_handler(self._on_probe_irq)
+        self.env.metrics.add_source("core.vcpu_scheduler", self.stats)
 
     def add_vcpu(self, vcpu):
         self.vcpus.append(vcpu)
@@ -232,7 +233,7 @@ class VCPUScheduler:
 
         self.slices_run += 1
         tracer = self.kernel.tracer
-        if tracer is not None:
+        if tracer.enabled:
             tracer.record(self.env.now, pcpu.cpu_id, "vmenter",
                           vcpu=vcpu.cpu_id, slice_ns=slice_ns)
         yield from pcpu.consume(costs.vmenter_ns)
@@ -253,15 +254,20 @@ class VCPUScheduler:
             # paid for with a small per-switch reconfiguration cost.
             exit_cost += self.config.isolation_overhead_ns
         yield from pcpu.consume(exit_cost)
-        if tracer is not None:
-            tracer.record(self.env.now, pcpu.cpu_id, "vmexit",
-                          vcpu=vcpu.cpu_id, reason=reason.value)
         self.switch_overhead_ns += costs.vmenter_ns + exit_cost
         self.exits_by_reason[reason] += 1
-        if (reason is VMExitReason.HW_PROBE_IRQ
-                and self.env.now - grant.granted_at_ns
-                <= self.premature_exit_window_ns):
+        premature = (
+            reason is VMExitReason.HW_PROBE_IRQ
+            and self.env.now - grant.granted_at_ns
+            <= self.premature_exit_window_ns
+        )
+        if premature:
             self.premature_exits += 1
+        if tracer.enabled:
+            tracer.record(self.env.now, pcpu.cpu_id, "vmexit",
+                          vcpu=vcpu.cpu_id, reason=reason.value,
+                          enter_cost_ns=costs.vmenter_ns,
+                          exit_cost_ns=exit_cost, premature=premature)
 
         if service is not None and not self.config.cache_isolation:
             service.note_vcpu_ran()
@@ -289,6 +295,10 @@ class VCPUScheduler:
             # on another idle DP pCPU if one exists, else on a dedicated CP
             # pCPU round-robin — whatever ended the slice.
             self.lock_safe_migrations += 1
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.record(self.env.now, pcpu.cpu_id, "lock_safe_migrate",
+                              vcpu=vcpu.cpu_id, reason=reason.value)
             target = self._find_idle_dp_cpu(exclude=pcpu.cpu_id)
             if target is not None and self._try_dispatch(target, vcpu=vcpu):
                 return
@@ -324,15 +334,28 @@ class VCPUScheduler:
             self._slice_ns[vcpu] = min(current * 2, self.config.max_slice_ns)
         elif reason is VMExitReason.HW_PROBE_IRQ:
             self._slice_ns[vcpu] = self.config.initial_slice_ns
+        updated = self._slice_ns[vcpu]
+        if updated != current:
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.record(self.env.now, vcpu.cpu_id, "slice_adapt",
+                              old_ns=current, new_ns=updated,
+                              reason=reason.value)
 
     def slice_for(self, vcpu):
         return self._slice_ns.get(vcpu, self.config.initial_slice_ns)
 
     def stats(self):
+        # Preprocessing-window accounting: probe-IRQ exits that arrived
+        # comfortably before traffic landed were "hits" (the window bought
+        # enough headroom); premature ones wasted the whole switch.
+        probe_exits = self.exits_by_reason[VMExitReason.HW_PROBE_IRQ]
         return {
             "slices_run": self.slices_run,
             "exits": {r.value: c for r, c in self.exits_by_reason.items() if c},
             "lock_safe_migrations": self.lock_safe_migrations,
             "switch_overhead_ns": self.switch_overhead_ns,
             "premature_exits": self.premature_exits,
+            "window_hits": probe_exits - self.premature_exits,
+            "window_misses": self.premature_exits,
         }

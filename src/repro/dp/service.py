@@ -48,8 +48,11 @@ class DPService:
         self.packets_processed = 0
         self.processing_ns = 0
         self.idle_notifications = 0
+        self.empty_poll_streaks = 0
         self.is_idle_blocked = False
         self._resume_event = None
+        self._m_idle_yields = self.env.metrics.counter("dp.idle_yields")
+        self.env.metrics.add_source(f"dp.{name}", self.metrics_snapshot)
 
         # Cache/TLB pollution bookkeeping.
         self._pollution_budget_ns = 0
@@ -107,6 +110,16 @@ class DPService:
             return 0.0
         return min(self.processing_ns / window_ns, 1.0)
 
+    def metrics_snapshot(self):
+        """Per-service poll-loop occupancy stats (lazy registry source)."""
+        return {
+            "cpu_id": self.cpu_id,
+            "packets_processed": self.packets_processed,
+            "processing_ns": self.processing_ns,
+            "idle_notifications": self.idle_notifications,
+            "empty_poll_streaks": self.empty_poll_streaks,
+        }
+
     # -- The poll loop ---------------------------------------------------------------
 
     def _loop(self):
@@ -141,12 +154,18 @@ class DPService:
             if arrival.triggered or control.triggered or self._shutdown:
                 self._control_event = None
                 continue  # traffic/control beat the threshold; count resets
+            self.empty_poll_streaks += 1
             if self.probe_fusion and self._pipeline_traffic_imminent():
                 # Packets are already inside the accelerator pipeline:
                 # yielding now would be an immediate false positive.
                 self._control_event = None
                 continue
             self.idle_notifications += 1
+            self._m_idle_yields.inc()
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.record(self.env.now, self.cpu_id, "dp_idle_yield",
+                              service=self.name, threshold=threshold)
             self.is_idle_blocked = True
             self.idle_notifier.notify_idle(self)
             resume = self.env.event()

@@ -21,6 +21,13 @@ def main(argv=None):
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--out", default=None,
                             help="also append the report to this file")
+    run_parser.add_argument("--trace", default=None, metavar="PATH",
+                            help="write a Chrome trace-event JSON file "
+                                 "(open in Perfetto / chrome://tracing)")
+    run_parser.add_argument("--jsonl", default=None, metavar="PATH",
+                            help="write raw trace events as JSON lines")
+    run_parser.add_argument("--metrics", default=None, metavar="PATH",
+                            help="write a metrics-registry snapshot as JSON")
 
     validate_parser = sub.add_parser(
         "validate", help="run all experiments and check the paper's shapes")
@@ -58,16 +65,36 @@ def main(argv=None):
             print(f"{exp_id:14s} {entry['paper_ref']:12s} {entry['title']}")
         return 0
 
+    from repro.obs import (
+        format_metrics, observe, write_chrome_trace, write_jsonl,
+        write_metrics_json,
+    )
+
+    tracing = args.trace is not None or args.jsonl is not None
     targets = sorted(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
     reports = []
-    for exp_id in targets:
-        started = time.time()
-        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
-        elapsed = time.time() - started
-        text = result.to_text() + f"\n[{elapsed:.1f}s wall]"
-        print(text)
-        print()
-        reports.append(text)
+    with observe(trace=tracing) as session:
+        for exp_id in targets:
+            started = time.time()
+            result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+            elapsed = time.time() - started
+            text = result.to_text() + f"\n[{elapsed:.1f}s wall]"
+            print(text)
+            print()
+            reports.append(text)
+        if args.trace:
+            write_chrome_trace(args.trace, session.streams)
+            dropped = session.dropped_events()
+            note = f" ({dropped} events dropped)" if dropped else ""
+            print(f"wrote Chrome trace to {args.trace}{note}")
+        if args.jsonl:
+            write_jsonl(args.jsonl, session.streams)
+            print(f"wrote trace events to {args.jsonl}")
+        if args.metrics:
+            write_metrics_json(args.metrics, session.metrics)
+            print(f"wrote metrics snapshot to {args.metrics}")
+            print()
+            print(format_metrics(session.metrics.snapshot()))
     if args.out:
         with open(args.out, "a") as handle:
             handle.write("\n\n".join(reports) + "\n")

@@ -4,10 +4,12 @@ One DP service and one CP task naively co-scheduled on the same CPU.  The
 CP task enters a spinlock-protected kernel section at T1 while the DP
 service is idle; a packet arrives at T2; the DP service cannot run until
 the section ends at T3.  The spike is T3 - T2, compared against the clean
-wakeup latency when the CP task is purely preemptible.
+wakeup latency when the CP task is purely preemptible — and against Tai
+Chi, where the same non-preemptible routine runs inside a vCPU that the
+hardware workload probe revokes the moment traffic appears.
 """
 
-from repro.baselines import NaiveCoscheduleDeployment
+from repro.baselines import NaiveCoscheduleDeployment, TaiChiDeployment
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
 from repro.hw.packet import IORequest, PacketKind
@@ -15,16 +17,31 @@ from repro.kernel import Compute, KernelSection, LockAcquire, LockRelease
 from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
 
 
-def _measure_spike(nonpreemptible, seed, section_ns=4 * MILLISECONDS,
-                   tracer=None):
-    deployment = NaiveCoscheduleDeployment(
-        seed=seed, board_config=None, dp_kind="net", tracer=tracer,
-    )
+def _measure_spike(mode, seed, section_ns=4 * MILLISECONDS):
+    """Run one spike scenario; returns the T1/T2/T3 timeline + deployment.
+
+    ``mode`` selects the CP-side setup: ``"nonpreemptible"`` (spinlocked
+    kernel section on the DP CPU), ``"preemptible"`` (plain compute on the
+    DP CPU), or ``"taichi"`` (the same non-preemptible routine, but frozen
+    inside a vCPU the scheduler revokes on packet arrival).
+    """
+    if mode == "taichi":
+        deployment = TaiChiDeployment(seed=seed, board_config=None,
+                                      dp_kind="net")
+        # Affinity deliberately excludes the dedicated CP pCPUs: the point
+        # is to observe the routine inside a vCPU on the DP partition.
+        cp_affinity = None  # resolved after vCPU boot, below
+    else:
+        deployment = NaiveCoscheduleDeployment(seed=seed, board_config=None,
+                                               dp_kind="net")
+        cp_affinity = None
     env = deployment.env
+    deployment.env.tracer.enable()
     board = deployment.board
     lock = board.kernel.spinlock("drv")
     target_cpu = deployment.services[0].cpu_id
     queue_id = deployment.services[0].queue_ids[0]
+    nonpreemptible = mode != "preemptible"
     timeline = {}
 
     def cp_task():
@@ -41,7 +58,11 @@ def _measure_spike(nonpreemptible, seed, section_ns=4 * MILLISECONDS,
 
     def driver():
         yield env.timeout(2 * MILLISECONDS)
-        board.kernel.spawn("cp", cp_task(), affinity={target_cpu})
+        if mode == "taichi":
+            affinity = set(deployment.taichi.vcpu_ids())
+        else:
+            affinity = {target_cpu}
+        board.kernel.spawn("cp", cp_task(), affinity=affinity)
         # Wait until the CP task is known to be inside its long routine,
         # then inject the DP packet (the T2 moment of Figure 4).
         while "t1" not in timeline or env.now < timeline["t1"] + section_ns // 4:
@@ -57,16 +78,16 @@ def _measure_spike(nonpreemptible, seed, section_ns=4 * MILLISECONDS,
 
     proc = env.process(driver(), name="fig4-driver")
     env.run(until=env.any_of([proc, env.timeout(1 * SECONDS)]))
-    return timeline
+    return timeline, deployment
 
 
 @register("fig4", "Latency spike from a non-preemptible CP routine", "Figure 4")
 def run(scale=1.0, seed=0):
-    from repro.metrics import Timeline, render_gantt
+    from repro.metrics import render_gantt
 
-    tracer = Timeline()
-    spike = _measure_spike(nonpreemptible=True, seed=seed, tracer=tracer)
-    clean = _measure_spike(nonpreemptible=False, seed=seed)
+    spike, spike_dep = _measure_spike("nonpreemptible", seed=seed)
+    clean, _ = _measure_spike("preemptible", seed=seed)
+    taichi, _ = _measure_spike("taichi", seed=seed)
     rows = [
         {
             "cp_routine": "non-preemptible (spinlock)",
@@ -78,6 +99,11 @@ def run(scale=1.0, seed=0):
             "t2_to_t3_us": (clean["t3"] - clean["t2"]) / MICROSECONDS,
             "packet_latency_us": clean["latency"] / MICROSECONDS,
         },
+        {
+            "cp_routine": "non-preemptible under Tai Chi (vCPU)",
+            "t2_to_t3_us": (taichi["t3"] - taichi["t2"]) / MICROSECONDS,
+            "packet_latency_us": taichi["latency"] / MICROSECONDS,
+        },
     ]
     return ExperimentResult(
         exp_id="fig4",
@@ -86,6 +112,7 @@ def run(scale=1.0, seed=0):
         rows=rows,
         derived={
             "spike_vs_clean": rows[0]["t2_to_t3_us"] / max(rows[1]["t2_to_t3_us"], 1e-9),
+            "spike_vs_taichi": rows[0]["t2_to_t3_us"] / max(rows[2]["t2_to_t3_us"], 1e-9),
         },
         paper={
             "spike_scale": "ms-scale (up to the routine length)",
@@ -93,7 +120,7 @@ def run(scale=1.0, seed=0):
         },
         notes="Timeline around the spike (T2 = packet arrival):\n"
         + render_gantt(
-            tracer,
+            spike_dep.env.tracer,
             max(spike["t2"] - 1 * MILLISECONDS, 0),
             spike["t3"] + 1 * MILLISECONDS,
             cpu_ids=[0],

@@ -19,6 +19,7 @@ class ExperimentResult:
     rows: list = field(default_factory=list)
     paper: dict = field(default_factory=dict)
     derived: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
     notes: str = ""
 
     def to_text(self):
@@ -32,6 +33,10 @@ class ExperimentResult:
         if self.paper:
             lines.append("-- paper reference --")
             for key, value in self.paper.items():
+                lines.append(f"  {key}: {_fmt(value)}")
+        if self.metrics:
+            lines.append("-- metrics --")
+            for key, value in self.metrics.items():
                 lines.append(f"  {key}: {_fmt(value)}")
         if self.notes:
             lines.append(f"-- notes --\n  {self.notes}")

@@ -55,7 +55,7 @@ def _measure_taichi_preemption(seed):
 
 @register("table1", "Prior-work comparison for DP/CP co-scheduling", "Table 1")
 def run(scale=1.0, seed=0):
-    spike = _measure_spike(nonpreemptible=True, seed=seed)
+    spike, _ = _measure_spike("nonpreemptible", seed=seed)
     kernel_granularity_ms = (spike["t3"] - spike["t2"]) / MILLISECONDS
     taichi_p50, taichi_max = _measure_taichi_preemption(seed)
     rows = [

@@ -9,6 +9,7 @@ into the repository's EXPERIMENTS.md.
 import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import observe
 
 
 class Expectation:
@@ -167,8 +168,17 @@ def run_validation(scale=1.0, seed=0, exp_ids=None, progress=None):
     outcomes = []
     for exp_id in exp_ids:
         started = time.time()
-        result = run_experiment(exp_id, scale=scale, seed=seed)
+        with observe() as session:
+            result = run_experiment(exp_id, scale=scale, seed=seed)
+            engine = _aggregate_engine_profile(session.metrics)
         elapsed = time.time() - started
+        if engine is not None:
+            result.metrics.update({
+                "engine_environments": engine["environments"],
+                "engine_events": engine["events_processed"],
+                "engine_heap_peak": engine["heap_peak"],
+                "engine_events_per_wall_s": engine["events_per_wall_s"],
+            })
         checks = [
             (expectation.description, expectation.evaluate(result))
             for expectation in EXPECTATIONS.get(exp_id, [])
@@ -178,11 +188,30 @@ def run_validation(scale=1.0, seed=0, exp_ids=None, progress=None):
             "result": result,
             "checks": checks,
             "elapsed_s": elapsed,
+            "engine": engine,
         })
         if progress is not None:
             status = "OK " if all(ok for _, ok in checks) else "FAIL"
             progress(f"[{status}] {exp_id} ({elapsed:.1f}s)")
     return outcomes
+
+
+def _aggregate_engine_profile(registry):
+    """Sum DES self-profiling across every environment an experiment built."""
+    sources = registry.snapshot()["sources"]
+    profiles = [value for name, value in sources.items()
+                if name.split("#")[0] == "engine"]
+    if not profiles:
+        return None
+    events = sum(p["events_processed"] for p in profiles)
+    wall_s = sum(p["wall_time_s"] for p in profiles)
+    return {
+        "environments": len(profiles),
+        "events_processed": events,
+        "heap_peak": max(p["heap_peak"] for p in profiles),
+        "wall_time_s": wall_s,
+        "events_per_wall_s": events / wall_s if wall_s > 0 else 0.0,
+    }
 
 
 def write_experiments_md(path, outcomes, scale, seed):

@@ -45,20 +45,20 @@ class SmartNIC:
     but stays inert until a scheduler installs an IRQ handler.
     """
 
-    def __init__(self, env, config=None, rng=None, tracer=None, name="smartnic"):
+    def __init__(self, env, config=None, rng=None, name="smartnic"):
         self.env = env
         self.config = config or BoardConfig()
         self.rng = rng or RandomStreams(seed=0)
         self.name = name
 
-        self.kernel = Kernel(env, params=self.config.kernel, name=f"{name}-os",
-                             tracer=tracer)
+        self.kernel = Kernel(env, params=self.config.kernel, name=f"{name}-os")
         for cpu_id in range(self.config.total_cpus):
             self.kernel.add_cpu(cpu_id)
 
         self.hw_probe = HardwareWorkloadProbe(env)
         self.accelerator = Accelerator(env, params=self.config.accelerator,
                                        probe=self.hw_probe)
+        env.metrics.add_source(f"board.{name}", self.metrics_snapshot)
         self.pcie = Link(env, f"{name}-pcie", self.config.pcie_bandwidth_gbps,
                          self.config.pcie_latency_ns)
         self.nic_port = Link(
@@ -84,6 +84,14 @@ class SmartNIC:
         store = Store(self.env, capacity=capacity, name=f"rxq-{queue_id}")
         self.accelerator.attach_queue(queue_id, store, dst_cpu_id)
         return store
+
+    def metrics_snapshot(self):
+        """Board-level hardware stats for the metrics registry."""
+        return {
+            "probe_packets_inspected": self.hw_probe.packets_inspected,
+            "probe_irqs_fired": self.hw_probe.irqs_fired,
+            "accelerator_packets": self.accelerator.packets_processed,
+        }
 
     def dp_utilization(self, window_ns, processing_ns_by_cpu):
         """Effective DP utilization: packet-processing time over the window."""

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from itertools import count
 
 from repro.cp.device_mgmt import DeviceManager, VMCreateRequest
-from repro.hw.enic import DeviceState, ENic
+from repro.hw.enic import ENic
 
 _vm_seq = count(1)
 

@@ -51,6 +51,10 @@ class HardwareWorkloadProbe:
         if self._states.get(dst_cpu_id) is not CpuIoState.V_STATE:
             return False
         self.irqs_fired += 1
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.record(self.env.now, dst_cpu_id, "hwprobe_irq",
+                          latency_ns=self.irq_latency_ns)
         handler = self._irq_handler
 
         def _deliver(_event):

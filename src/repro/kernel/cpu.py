@@ -323,9 +323,9 @@ class CPU:
         thread.state = ThreadState.RUNNING
         thread.last_cpu = self.cpu_id
         tracer = self.kernel.tracer
-        if tracer is not None:
+        if tracer.enabled:
             tracer.record(self.env.now, self.cpu_id, "sched_in",
-                          thread=thread.name)
+                          thread=thread.name, rq=len(self.runqueue))
         if thread.wait_since_ns is not None:
             self.kernel.record_sched_latency(self.env.now - thread.wait_since_ns)
             thread.wait_since_ns = None
@@ -346,9 +346,12 @@ class CPU:
 
         ran_ns = self.env.now - stint_start
         self.runqueue.charge(thread, ran_ns)
-        if tracer is not None:
+        if tracer.enabled:
             tracer.record(self.env.now, self.cpu_id, "sched_out",
-                          thread=thread.name, outcome=outcome)
+                          thread=thread.name, outcome=outcome,
+                          ran_ns=ran_ns)
+            tracer.record(self.env.now, self.cpu_id, "rq_depth",
+                          depth=len(self.runqueue))
         self.current = None
         self._slice_end = None
         self.state = CpuState.IDLE

@@ -49,11 +49,19 @@ class IPIController:
     def send(self, src_cpu, dst_cpu, vector, payload=None):
         """Send an IPI; honors the installed hook, else delivers physically."""
         self.sent_count += 1
+        routed = False
         if self._send_hook is not None:
-            if self._send_hook(src_cpu, dst_cpu, vector, payload):
+            routed = bool(self._send_hook(src_cpu, dst_cpu, vector, payload))
+            if routed:
                 self.hooked_count += 1
-                return
-        self.deliver(dst_cpu, vector, payload, latency_ns=self.latency_ns)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            src_id = getattr(src_cpu, "cpu_id", "-")
+            tracer.record(self.kernel.env.now, src_id, "ipi_send",
+                          dst=dst_cpu.cpu_id, vector=vector.value,
+                          routed=routed)
+        if not routed:
+            self.deliver(dst_cpu, vector, payload, latency_ns=self.latency_ns)
 
     def deliver(self, dst_cpu, vector, payload=None, latency_ns=None):
         """Deliver to ``dst_cpu`` after ``latency_ns`` (bypasses the hook).
@@ -66,6 +74,10 @@ class IPIController:
 
         def _fire(_event):
             self.delivered_count += 1
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.record(env.now, dst_cpu.cpu_id, "ipi_deliver",
+                              vector=vector.value)
             self._invoke(dst_cpu, vector, payload)
 
         env.timeout(delay).callbacks.append(_fire)

@@ -34,7 +34,10 @@ class Kernel:
         self.env = env
         self.params = params or KernelParams()
         self.name = name
-        self.tracer = tracer
+        # The observability spine: default to the environment's tracer; an
+        # explicit ``tracer`` argument (any object with ``.record`` and a
+        # truthy ``.enabled``) overrides it for targeted captures.
+        self.tracer = tracer if tracer is not None else env.tracer
 
         self.cpus = {}
         self.threads = {}
@@ -48,6 +51,8 @@ class Kernel:
         # ``hook(cpu) -> bool`` callbacks consulted when a physical CPU
         # finds nothing runnable (Tai Chi backs starving vCPUs here).
         self.idle_callbacks = []
+
+        env.metrics.add_source(f"kernel.{name}", self.metrics_snapshot)
 
     # -- CPU management ----------------------------------------------------------
 
@@ -77,7 +82,7 @@ class Kernel:
         self.ipi.send(from_cpu, dst, IPIVector.STARTUP)
 
     def on_cpu_online(self, cpu):
-        if self.tracer is not None:
+        if self.tracer.enabled:
             self.tracer.record(self.env.now, cpu.cpu_id, "cpu_online")
 
     def online_cpus(self):
@@ -112,8 +117,11 @@ class Kernel:
                 f"for {thread!r}"
             )
         cpu.enqueue(thread)
-        if self.tracer is not None:
-            self.tracer.record(self.env.now, cpu.cpu_id, "enqueue", thread=thread.name)
+        if self.tracer.enabled:
+            self.tracer.record(self.env.now, cpu.cpu_id, "enqueue",
+                               thread=thread.name)
+            self.tracer.record(self.env.now, cpu.cpu_id, "rq_depth",
+                               depth=len(cpu.runqueue))
 
     def select_cpu(self, thread, preferred=None):
         """Wake placement: preferred CPU if idle-ish, else least loaded."""
@@ -208,7 +216,7 @@ class Kernel:
         self.threads.pop(thread.tid, None)
         if thread.done is not None and not thread.done.triggered:
             thread.done.succeed(thread.exit_value)
-        if self.tracer is not None:
+        if self.tracer.enabled:
             self.tracer.record(self.env.now, "-", "thread_exit", thread=thread.name)
 
     # -- Kernel objects ------------------------------------------------------------
@@ -226,6 +234,28 @@ class Kernel:
 
     def total_busy_ns(self):
         return sum(cpu.busy_ns for cpu in self.cpus.values())
+
+    def metrics_snapshot(self):
+        """Kernel-wide stats for the metrics registry (lazy source)."""
+        cpus = list(self.cpus.values())
+        return {
+            "cpus": len(cpus),
+            "threads_live": len(self.threads),
+            "threads_finished": self.finished_threads,
+            "steals": self.steals,
+            "context_switches": sum(cpu.context_switches for cpu in cpus),
+            "softirq_runs": sum(cpu.softirq_runs for cpu in cpus),
+            "busy_ns": sum(cpu.busy_ns for cpu in cpus),
+            "idle_ns": sum(cpu.idle_ns for cpu in cpus),
+            "nonpreemptible_ns": sum(cpu.nonpreemptible_ns for cpu in cpus),
+            "max_rq_depth": max((len(cpu.runqueue) for cpu in cpus), default=0),
+            "ipi_sent": self.ipi.sent_count,
+            "ipi_delivered": self.ipi.delivered_count,
+            "ipi_hooked": self.ipi.hooked_count,
+            "softirq_raised": self.softirq.raised_count,
+            "softirq_executed": self.softirq.executed_count,
+            "sched_latency": self.sched_latency.summary(),
+        }
 
     def __repr__(self):
         return f"<Kernel {self.name!r} cpus={len(self.cpus)} threads={len(self.threads)}>"

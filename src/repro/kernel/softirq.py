@@ -42,6 +42,10 @@ class SoftirqSubsystem:
         """Mark ``vector`` pending on ``cpu`` and nudge its executor."""
         self._pending.setdefault(cpu.cpu_id, deque()).append((vector, payload))
         self.raised_count += 1
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.record(self.kernel.env.now, cpu.cpu_id, "softirq_raise",
+                          vector=vector.value)
         cpu.kick()
 
     def pending(self, cpu):
@@ -51,12 +55,16 @@ class SoftirqSubsystem:
     def run_pending(self, cpu):
         """Generator: execute all pending softirqs on ``cpu`` in order."""
         queue = self._pending.get(cpu.cpu_id)
+        tracer = self.kernel.tracer
         while queue:
             vector, payload = queue.popleft()
             handler = self._handlers.get(vector)
             if handler is None:
                 continue
             self.executed_count += 1
+            if tracer.enabled:
+                tracer.record(self.kernel.env.now, cpu.cpu_id, "softirq_run",
+                              vector=vector.value)
             result = handler(cpu, payload)
             if result is not None and hasattr(result, "__next__"):
                 yield from result

@@ -34,33 +34,49 @@ def render_gantt(timeline, start_ns, end_ns, cpu_ids=None, width=100,
         lines.append(f"cpu {str(cpu_id):<4}".ljust(label_width) + "".join(row))
     lines.append(" " * label_width + f"('.'=idle, 'v'=vCPU slice, "
                  f"letter=thread initial)")
+    dropped = getattr(timeline, "dropped", 0)
+    if dropped:
+        lines.append(" " * label_width
+                     + f"(!) {dropped} events dropped by the capture buffer; "
+                     "spans may be incomplete")
     return "\n".join(lines)
 
 
+_OPEN_KINDS = ("sched_in", "vmenter")
+_CLOSE_KINDS = ("sched_out", "vmexit")
+
+
 def occupancy_spans(timeline, start_ns=None, end_ns=None):
-    """Extract per-CPU (start, end, glyph) occupancy spans from a timeline."""
+    """Extract per-CPU (start, end, glyph) occupancy spans from a timeline.
+
+    Spans still open when the window ends are closed at the horizon:
+    ``end_ns`` when given, otherwise the timestamp of the last event seen —
+    so an open occupancy is always reported rather than silently vanishing.
+    Opens that straddle ``start_ns`` are clamped to the window start.
+    """
     spans = {}
     open_spans = {}
+    last_ts = None
     for event in timeline:
-        if start_ns is not None and event.ts_ns < start_ns:
-            # Track opens that straddle the window start.
-            if event.kind in ("sched_in", "vmenter"):
-                open_spans[event.cpu_id] = (max(event.ts_ns, start_ns or 0),
-                                            _glyph(event))
-            elif event.kind in ("sched_out", "vmexit"):
-                open_spans.pop(event.cpu_id, None)
-            continue
         if end_ns is not None and event.ts_ns > end_ns:
             break
-        if event.kind in ("sched_in", "vmenter"):
+        last_ts = event.ts_ns
+        if start_ns is not None and event.ts_ns < start_ns:
+            # Track opens that straddle the window start.
+            if event.kind in _OPEN_KINDS:
+                open_spans[event.cpu_id] = (start_ns, _glyph(event))
+            elif event.kind in _CLOSE_KINDS:
+                open_spans.pop(event.cpu_id, None)
+            continue
+        if event.kind in _OPEN_KINDS:
             open_spans[event.cpu_id] = (event.ts_ns, _glyph(event))
-        elif event.kind in ("sched_out", "vmexit"):
+        elif event.kind in _CLOSE_KINDS:
             opened = open_spans.pop(event.cpu_id, None)
             if opened is not None:
                 opened_ts, glyph = opened
                 spans.setdefault(event.cpu_id, []).append(
                     (opened_ts, event.ts_ns, glyph))
-    horizon = end_ns
+    horizon = end_ns if end_ns is not None else last_ts
     if horizon is not None:
         for cpu_id, (opened_ts, glyph) in open_spans.items():
             spans.setdefault(cpu_id, []).append((opened_ts, horizon, glyph))

@@ -1,5 +1,20 @@
-"""Timeline capture for scheduling traces (used by the Figure 4 demo)."""
+"""Timeline capture for scheduling traces.
 
+The :class:`Timeline` is the storage layer of the observability spine
+(:mod:`repro.obs` wraps it with an enable gate and exporters).  Two
+bounded-memory policies are supported:
+
+* ``ring=False`` (historical default) — append until ``cap`` is reached,
+  then drop *new* events, counting them in :attr:`Timeline.dropped`;
+* ``ring=True`` — keep the most recent ``cap`` events, dropping the
+  *oldest* (the usual flight-recorder behaviour for long soaks).
+
+Either way :attr:`Timeline.dropped` says how many events were lost, and
+renderers/exporters are expected to surface it rather than silently
+presenting a truncated trace.
+"""
+
+from collections import deque
 from dataclasses import dataclass, field
 
 
@@ -18,21 +33,27 @@ class TimelineEvent:
 
 
 class Timeline:
-    """An append-only log of :class:`TimelineEvent` records."""
+    """A bounded log of :class:`TimelineEvent` records."""
 
-    def __init__(self, cap=100_000):
+    # Plain timelines are always-on; Tracer overrides this with a gate so
+    # instrumentation sites can use a uniform ``tracer.enabled`` check.
+    enabled = True
+
+    def __init__(self, cap=100_000, ring=False):
         self.cap = cap
-        self.events = []
+        self.ring = ring
+        self.events = deque(maxlen=cap) if ring else []
         self.dropped = 0
 
     def record(self, ts_ns, cpu_id, kind, **detail):
         if len(self.events) >= self.cap:
             self.dropped += 1
-            return
+            if not self.ring:
+                return
         self.events.append(TimelineEvent(ts_ns, cpu_id, kind, detail))
 
     def filter(self, kind=None, cpu_id=None):
-        out = self.events
+        out = list(self.events)
         if kind is not None:
             out = [event for event in out if event.kind == kind]
         if cpu_id is not None:
@@ -51,6 +72,15 @@ class Timeline:
             elif event.kind == end_kind and event.cpu_id in open_starts:
                 spans.append((open_starts.pop(event.cpu_id), event.ts_ns))
         return spans
+
+    def summary(self):
+        """Bookkeeping summary for exports and reports."""
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "cap": self.cap,
+            "mode": "ring" if self.ring else "drop-new",
+        }
 
     def __len__(self):
         return len(self.events)

@@ -1,0 +1,52 @@
+"""``repro.obs`` — the unified observability spine.
+
+A central :class:`Tracer` (structured, named events with a near-zero-
+overhead disable gate) plus a :class:`MetricsRegistry` (counters, gauges,
+histograms, and lazily collected *sources*), threaded through
+:class:`~repro.sim.environment.Environment` so every subsystem emits
+through one spine.  Exporters turn captures into Chrome trace-event JSON
+(Perfetto-loadable), JSONL streams, or text summaries.
+
+Typical use from the experiments harness::
+
+    from repro.obs import observe, write_chrome_trace, write_metrics_json
+
+    with observe(trace=True) as session:
+        result = run_experiment("fig4")
+    write_chrome_trace("out.json", session.streams)
+    write_metrics_json("metrics.json", session.metrics)
+
+See ``docs/observability.md`` for the event taxonomy and formats.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    format_metrics,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.obs.session import ObservabilitySession, current, observe
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "ObservabilitySession",
+    "Tracer",
+    "chrome_trace",
+    "current",
+    "format_metrics",
+    "observe",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_json",
+]

@@ -1,0 +1,197 @@
+"""Trace and metrics exporters.
+
+Three formats:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace` /
+  :func:`write_chrome_trace`) — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  ``sched_in/out``
+  and ``vmenter/vmexit`` pairs become duration slices, ``rq_depth``
+  becomes a counter track, everything else becomes instant events.
+* **JSONL event stream** (:func:`write_jsonl`) — one JSON object per
+  event, for ad-hoc ``jq``/pandas querying.
+* **Text summary** (:meth:`MetricsRegistry.to_text` plus
+  :func:`format_metrics` here) — for terminal reports.
+
+Exporters accept a single tracer/timeline or a list of ``(label,
+tracer)`` streams (an observability session produces one stream per
+simulation environment; each stream becomes one Chrome ``pid``).
+"""
+
+import enum
+import json
+
+# Slice pairs: begin-kind -> (end-kind, category, name function).
+_SLICE_BEGIN = {
+    "sched_in": ("sched_out", "kernel",
+                 lambda e: str(e.detail.get("thread", "?"))),
+    "vmenter": ("vmexit", "virt",
+                lambda e: f"vcpu {e.detail.get('vcpu', '?')}"),
+}
+_SLICE_END = {end: begin for begin, (end, _, _) in _SLICE_BEGIN.items()}
+
+# Counter-track kinds: kind -> args key holding the sampled value.
+_COUNTER_KINDS = {"rq_depth": "depth"}
+
+_CATEGORIES = {
+    "enqueue": "kernel", "cpu_online": "kernel", "thread_exit": "kernel",
+    "softirq_raise": "kernel", "softirq_run": "kernel",
+    "ipi_send": "ipi", "ipi_deliver": "ipi", "ipi_route": "ipi",
+    "hwprobe_irq": "probe", "threshold_adapt": "probe",
+    "dp_idle_yield": "dp",
+    "slice_adapt": "core", "lock_safe_migrate": "core",
+}
+
+
+def _jsonable(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _args(event):
+    return {key: _jsonable(val) for key, val in event.detail.items()}
+
+
+def _normalize_streams(trace_source):
+    """Accept a tracer, a timeline, or a list of (label, tracer) pairs."""
+    if hasattr(trace_source, "record"):
+        return [("trace", trace_source)]
+    return list(trace_source)
+
+
+def chrome_trace(trace_source):
+    """Build a Chrome trace-event JSON object (dict) from trace streams."""
+    trace_events = []
+    dropped_total = 0
+    for pid, (label, tracer) in enumerate(_normalize_streams(trace_source)):
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+        dropped_total += getattr(tracer, "dropped", 0)
+        tids = {}
+        opens = {}
+        last_ts = 0
+
+        def tid_for(cpu_id):
+            tid = tids.get(cpu_id)
+            if tid is None:
+                tid = len(tids)
+                tids[cpu_id] = tid
+                trace_events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": f"cpu {cpu_id}"},
+                })
+            return tid
+
+        for event in tracer:
+            ts_us = event.ts_ns / 1000.0
+            last_ts = max(last_ts, event.ts_ns)
+            kind = event.kind
+            if kind in _SLICE_BEGIN:
+                opens[(event.cpu_id, kind)] = event
+                continue
+            if kind in _SLICE_END:
+                begin_kind = _SLICE_END[kind]
+                begin = opens.pop((event.cpu_id, begin_kind), None)
+                if begin is None:
+                    # Unmatched end (begin fell out of the ring buffer):
+                    # degrade to an instant so the event still shows up.
+                    trace_events.append({
+                        "ph": "i", "s": "t", "name": kind,
+                        "cat": _SLICE_BEGIN[begin_kind][1],
+                        "ts": ts_us, "pid": pid, "tid": tid_for(event.cpu_id),
+                        "args": _args(event),
+                    })
+                    continue
+                _, cat, name_fn = _SLICE_BEGIN[begin_kind]
+                args = _args(begin)
+                args.update(_args(event))
+                trace_events.append({
+                    "ph": "X", "name": name_fn(begin), "cat": cat,
+                    "ts": begin.ts_ns / 1000.0,
+                    "dur": (event.ts_ns - begin.ts_ns) / 1000.0,
+                    "pid": pid, "tid": tid_for(event.cpu_id), "args": args,
+                })
+                continue
+            if kind in _COUNTER_KINDS:
+                key = _COUNTER_KINDS[kind]
+                value = event.detail.get(key, 0)
+                trace_events.append({
+                    "ph": "C", "name": f"{kind} cpu{event.cpu_id}",
+                    "ts": ts_us, "pid": pid,
+                    "args": {key: _jsonable(value)},
+                })
+                continue
+            trace_events.append({
+                "ph": "i", "s": "t", "name": kind,
+                "cat": _CATEGORIES.get(kind, "misc"),
+                "ts": ts_us, "pid": pid, "tid": tid_for(event.cpu_id),
+                "args": _args(event),
+            })
+
+        # Close slices still open at trace end so they remain visible.
+        for (cpu_id, begin_kind), begin in opens.items():
+            _, cat, name_fn = _SLICE_BEGIN[begin_kind]
+            trace_events.append({
+                "ph": "X", "name": name_fn(begin), "cat": cat,
+                "ts": begin.ts_ns / 1000.0,
+                "dur": max((last_ts - begin.ts_ns) / 1000.0, 0.001),
+                "pid": pid, "tid": tid_for(cpu_id),
+                "args": dict(_args(begin), open_at_trace_end=True),
+            })
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"dropped_events": dropped_total},
+    }
+
+
+def write_chrome_trace(path, trace_source):
+    """Serialize :func:`chrome_trace` output to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(trace_source), handle)
+    return path
+
+
+def write_jsonl(path, trace_source):
+    """Write one JSON object per trace event; returns the path."""
+    with open(path, "w") as handle:
+        for pid, (label, tracer) in enumerate(_normalize_streams(trace_source)):
+            for event in tracer:
+                handle.write(json.dumps({
+                    "pid": pid,
+                    "stream": label,
+                    "ts_ns": event.ts_ns,
+                    "cpu": _jsonable(event.cpu_id),
+                    "kind": event.kind,
+                    "args": _args(event),
+                }))
+                handle.write("\n")
+    return path
+
+
+def write_metrics_json(path, registry):
+    """Write a registry snapshot (instruments + sources) as JSON."""
+    with open(path, "w") as handle:
+        json.dump(registry.snapshot(), handle, indent=2, default=_jsonable)
+    return path
+
+
+def format_metrics(snapshot, source_prefixes=("engine",)):
+    """Render a snapshot's headline numbers as indented text lines."""
+    lines = []
+    for section in ("counters", "gauges"):
+        for name, value in snapshot.get(section, {}).items():
+            lines.append(f"  {name}: {value}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        lines.append(f"  {name}: {summary}")
+    for name, data in snapshot.get("sources", {}).items():
+        if not name.startswith(tuple(source_prefixes)):
+            continue
+        for key, value in sorted(data.items()):
+            lines.append(f"  {name}.{key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Observability sessions: one trace/metrics scope spanning many envs.
+
+Experiments routinely build several simulation environments (baseline
+vs. Tai Chi vs. ablation).  An :class:`ObservabilitySession` is the
+umbrella over all of them: while a session is active (via the
+:func:`observe` context manager), every newly constructed
+:class:`~repro.sim.environment.Environment` gets its tracer from the
+session (one *stream* per environment, which exporters render as one
+Chrome ``pid`` each) and shares the session's single
+:class:`~repro.obs.registry.MetricsRegistry`.
+
+No session active → each environment gets a private disabled tracer and
+private registry, and the instrumentation spine costs one attribute
+check per would-be event.
+"""
+
+from contextlib import contextmanager
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+_ACTIVE = None
+
+
+class ObservabilitySession:
+    """Collects trace streams and metrics across simulation environments."""
+
+    def __init__(self, trace=False, trace_cap=1_000_000, ring=True):
+        self.trace = trace
+        self.trace_cap = trace_cap
+        self.ring = ring
+        self.metrics = MetricsRegistry()
+        self.streams = []          # [(label, Tracer)]
+
+    def adopt_environment(self, env, label=None):
+        """Give ``env`` its tracer; called from Environment.__init__."""
+        label = label or f"env{len(self.streams)}"
+        tracer = Tracer(cap=self.trace_cap, ring=self.ring, enabled=self.trace)
+        self.streams.append((label, tracer))
+        return tracer
+
+    def events(self, kind=None):
+        """All captured events across streams (optionally one kind)."""
+        out = []
+        for _, tracer in self.streams:
+            out.extend(tracer.filter(kind=kind) if kind else list(tracer))
+        return out
+
+    def dropped_events(self):
+        return sum(tracer.dropped for _, tracer in self.streams)
+
+    def __repr__(self):
+        return (
+            f"<ObservabilitySession trace={self.trace} "
+            f"streams={len(self.streams)}>"
+        )
+
+
+def current():
+    """The active session, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def observe(trace=False, trace_cap=1_000_000, ring=True):
+    """Activate a session for the duration of the block (re-entrant)."""
+    global _ACTIVE
+    session = ObservabilitySession(trace=trace, trace_cap=trace_cap, ring=ring)
+    previous = _ACTIVE
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,65 @@
+"""The central tracer: a gated, ring-buffered structured event sink.
+
+Every :class:`~repro.sim.environment.Environment` owns exactly one
+:class:`Tracer` (``env.tracer``); all subsystems — kernel executors,
+IPI controller, softirq subsystem, the vCPU scheduler, the workload
+probes, DP services — emit their events through it.  The tracer starts
+*disabled*: instrumentation sites guard emission with a single attribute
+check (``if tracer.enabled:``), so an untraced run pays one branch per
+potential event and allocates nothing.
+
+Event taxonomy (``docs/observability.md`` has the full reference):
+
+===================  =======================================================
+kind                 meaning
+===================  =======================================================
+``sched_in/out``     a thread started/stopped running on a CPU (slice pair)
+``vmenter/vmexit``   a vCPU slice on a physical CPU (slice pair)
+``enqueue``          a thread became runnable on a CPU's run queue
+``rq_depth``         run-queue depth sample (counter track)
+``softirq_raise``    a softirq vector was marked pending on a CPU
+``softirq_run``      a softirq handler executed
+``ipi_send``         an IPI left the send path (``routed`` = hook took it)
+``ipi_deliver``      an IPI arrived at its destination CPU
+``ipi_route``        the unified orchestrator's routing decision
+``hwprobe_irq``      the hardware workload probe fired a preempt IRQ
+``dp_idle_yield``    a DP service crossed its empty-poll threshold
+``slice_adapt``      the adaptive time slice changed for a vCPU
+``threshold_adapt``  a service's empty-poll threshold changed
+``lock_safe_migrate``a descheduled lock-holder vCPU was re-dispatched
+``cpu_online``       a CPU came online (hotplug/boot)
+``thread_exit``      a thread exited
+===================  =======================================================
+"""
+
+from repro.metrics.timeline import Timeline
+
+
+class Tracer(Timeline):
+    """A :class:`~repro.metrics.timeline.Timeline` with an enable gate.
+
+    Defaults to ring-buffer retention (keep the newest ``cap`` events) so
+    long runs behave like a flight recorder rather than capturing only the
+    boot transient.
+    """
+
+    def __init__(self, cap=1_000_000, ring=True, enabled=False):
+        super().__init__(cap=cap, ring=ring)
+        self.enabled = enabled
+
+    def enable(self):
+        self.enabled = True
+        return self
+
+    def disable(self):
+        self.enabled = False
+        return self
+
+    def record(self, ts_ns, cpu_id, kind, **detail):
+        if not self.enabled:
+            return
+        super().record(ts_ns, cpu_id, kind, **detail)
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {state} events={len(self.events)} dropped={self.dropped}>"

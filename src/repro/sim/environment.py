@@ -2,7 +2,11 @@
 
 from heapq import heappop, heappush
 from itertools import count
+from time import perf_counter
 
+from repro.obs.registry import MetricsRegistry
+from repro.obs.session import current as _current_obs_session
+from repro.obs.tracer import Tracer
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, PRIORITY_NORMAL, Timeout
 from repro.sim.process import Process
@@ -14,6 +18,14 @@ class Environment:
     The clock is an integer count of nanoseconds since simulation start.
     Events scheduled for the same instant are ordered by priority, then by
     insertion order, making runs fully deterministic.
+
+    Every environment carries the observability spine: ``self.tracer`` (a
+    :class:`~repro.obs.tracer.Tracer`, disabled unless an observability
+    session is tracing) and ``self.metrics`` (a
+    :class:`~repro.obs.registry.MetricsRegistry`, shared with the active
+    session if any).  The engine also profiles itself — events processed,
+    peak heap depth, wall time spent in :meth:`run` — exposed through
+    :meth:`profile` and registered as the ``engine`` metrics source.
     """
 
     def __init__(self, initial_time=0):
@@ -21,6 +33,20 @@ class Environment:
         self._queue = []
         self._eid = count()
         self._active_process = None
+
+        # Engine self-profiling.
+        self._events_processed = 0
+        self._heap_peak = 0
+        self._wall_s = 0.0
+
+        session = _current_obs_session()
+        if session is not None:
+            self.tracer = session.adopt_environment(self)
+            self.metrics = session.metrics
+        else:
+            self.tracer = Tracer(enabled=False)
+            self.metrics = MetricsRegistry()
+        self.metrics.add_source("engine", self.profile)
 
     @property
     def now(self):
@@ -35,6 +61,8 @@ class Environment:
     def schedule(self, event, priority=PRIORITY_NORMAL, delay=0):
         """Queue ``event`` to be processed after ``delay`` nanoseconds."""
         heappush(self._queue, (self._now + int(delay), priority, next(self._eid), event))
+        if len(self._queue) > self._heap_peak:
+            self._heap_peak = len(self._queue)
 
     def peek(self):
         """Time of the next scheduled event, or ``None`` if the queue is empty."""
@@ -52,6 +80,7 @@ class Environment:
             raise SimulationError("no more events") from None
 
         self._now = when
+        self._events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -82,15 +111,34 @@ class Environment:
                 stop = Timeout(self, at - self._now)
                 stop.callbacks.append(_stop_callback)
 
+        wall_start = perf_counter()
         try:
             while self._queue:
                 self.step()
         except StopSimulation as exc:
             return exc.value
+        finally:
+            self._wall_s += perf_counter() - wall_start
 
         if stop is not None and isinstance(until, Event) and not until.triggered:
             raise SimulationError("run() finished with the until-event untriggered")
         return None
+
+    # -- Engine self-profiling ------------------------------------------------
+
+    def profile(self):
+        """DES engine self-profiling gauges (the ``engine`` metrics source)."""
+        sim_s = self._now / 1e9
+        wall = self._wall_s
+        return {
+            "events_processed": self._events_processed,
+            "heap_peak": self._heap_peak,
+            "heap_pending": len(self._queue),
+            "sim_time_ns": self._now,
+            "wall_time_s": round(wall, 6),
+            "events_per_wall_s": round(self._events_processed / wall, 1) if wall > 0 else 0.0,
+            "wall_s_per_sim_s": round(wall / sim_s, 6) if sim_s > 0 else 0.0,
+        }
 
     # -- Convenience factories ------------------------------------------------
 

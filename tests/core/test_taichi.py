@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import TaiChi, TaiChiConfig
+from repro.core import TaiChi
 from repro.dp import deploy_dp_services
 from repro.hw import SmartNIC
 from repro.sim import Environment, MILLISECONDS

@@ -1,6 +1,6 @@
 """Tests for the VM-creation device-management workflow."""
 
-from repro.cp import DeviceManager, DeviceMgmtParams, Orchestrator, VMCreateRequest
+from repro.cp import DeviceManager, DeviceMgmtParams, Orchestrator
 from repro.hw import SmartNIC
 from repro.sim import Environment, MILLISECONDS, SECONDS
 

@@ -2,7 +2,7 @@
 
 from repro.dp import DPService, DPServiceParams, deploy_dp_services
 from repro.hw import IORequest, PacketKind, SmartNIC
-from repro.sim import Environment, MICROSECONDS, MILLISECONDS
+from repro.sim import Environment, MILLISECONDS
 
 
 def make_board():

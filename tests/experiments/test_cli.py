@@ -56,3 +56,37 @@ def test_validate_writes_markdown(tmp_path, capsys):
 def test_seed_changes_are_accepted(capsys):
     assert main(["run", "fig3", "--scale", "0.1", "--seed", "7"]) == 0
     capsys.readouterr()
+
+
+def test_run_with_trace_and_metrics_exports(tmp_path, capsys):
+    import json
+
+    trace_path = os.path.join(tmp_path, "t.json")
+    jsonl_path = os.path.join(tmp_path, "t.jsonl")
+    metrics_path = os.path.join(tmp_path, "m.json")
+    assert main(["run", "fig4", "--trace", trace_path,
+                 "--jsonl", jsonl_path, "--metrics", metrics_path]) == 0
+    out = capsys.readouterr().out
+    assert "wrote Chrome trace" in out
+    assert "engine" in out  # metrics summary echoed to the terminal
+
+    with open(trace_path) as handle:
+        doc = json.load(handle)
+    kinds = {event["name"] for event in doc["traceEvents"]}
+    assert "vcpu v0" in kinds          # vmenter/vmexit became virt slices
+    assert "ipi_route" in kinds
+    phases = {event["ph"] for event in doc["traceEvents"]}
+    assert {"M", "X", "i", "C"} <= phases
+
+    with open(jsonl_path) as handle:
+        lines = [json.loads(line) for line in handle]
+    assert any(line["kind"] == "vmenter" for line in lines)
+
+    with open(metrics_path) as handle:
+        metrics = json.load(handle)
+    engine_sources = [name for name in metrics["sources"]
+                      if name.split("#")[0] == "engine"]
+    assert engine_sources
+    first = metrics["sources"][engine_sources[0]]
+    assert first["events_processed"] > 0
+    assert "events_per_wall_s" in first

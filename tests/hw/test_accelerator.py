@@ -3,7 +3,7 @@
 import pytest
 
 from repro.hw import Accelerator, AcceleratorParams, CpuIoState, HardwareWorkloadProbe, IORequest, PacketKind
-from repro.sim import Environment, MICROSECONDS, Store
+from repro.sim import Environment, Store
 
 
 def make(probe=None, params=None):

@@ -1,6 +1,5 @@
 """End-to-end integration tests of the paper's headline claims."""
 
-import pytest
 
 from repro.baselines import (
     NaiveCoscheduleDeployment,
@@ -13,7 +12,7 @@ from repro.cp.task import CPTaskParams, spawn_synth_cp
 from repro.hw import IORequest, PacketKind
 from repro.kernel import Compute, KernelSection, LockAcquire, LockRelease
 from repro.sim import MICROSECONDS, MILLISECONDS, SECONDS
-from repro.workloads import run_ping, run_synth_cp
+from repro.workloads import run_ping
 from repro.workloads.background import start_cp_background
 
 

@@ -1,6 +1,6 @@
 """Tests for affinity changes, work stealing, and idle callbacks."""
 
-from repro.kernel import Compute, Kernel, SchedClass, Sleep
+from repro.kernel import Compute, Kernel, SchedClass
 from repro.sim import Environment, MICROSECONDS, MILLISECONDS, SECONDS
 
 

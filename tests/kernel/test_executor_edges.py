@@ -1,6 +1,5 @@
 """Edge cases of the CPU executor."""
 
-import pytest
 
 from repro.kernel import (
     Compute,

@@ -1,6 +1,6 @@
 """Tests for the IPI controller and its interception hook."""
 
-from repro.kernel import Compute, IPIVector, Kernel
+from repro.kernel import IPIVector, Kernel
 from repro.sim import Environment, MILLISECONDS
 
 

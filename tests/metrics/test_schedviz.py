@@ -29,6 +29,36 @@ def test_open_span_clipped_at_horizon():
     assert spans[0] == [(100, 1000, "x")]
 
 
+def test_open_span_survives_without_end_ns():
+    # Regression: spans still open at the last event used to vanish
+    # entirely when no end_ns horizon was given.
+    timeline = Timeline()
+    timeline.record(100, 0, "sched_in", thread="x")
+    timeline.record(900, 1, "vmenter", vcpu="v0")
+    spans = occupancy_spans(timeline)
+    assert spans[0] == [(100, 900, "x")]
+    assert spans[1] == [(900, 900, "v")]
+
+
+def test_straddling_open_clamped_without_start_ns():
+    # Regression: an open preceding the window was only handled when
+    # start_ns was explicitly set.
+    timeline = Timeline()
+    timeline.record(100, 0, "sched_in", thread="x")
+    timeline.record(700, 0, "sched_out", thread="x")
+    assert occupancy_spans(timeline)[0] == [(100, 700, "x")]
+    assert occupancy_spans(timeline, start_ns=300)[0] == [(300, 700, "x")]
+
+
+def test_render_notes_dropped_events():
+    timeline = Timeline(cap=4, ring=True)
+    for ts in range(0, 800, 100):
+        timeline.record(ts, 0, "sched_in", thread="x")
+    text = render_gantt(timeline, 0, 1000, width=50)
+    assert "4 events dropped" in text
+    assert "dropped" not in render_gantt(make_timeline(), 0, 1000, width=50)
+
+
 def test_render_has_one_row_per_cpu():
     text = render_gantt(make_timeline(), 0, 1000, width=50)
     lines = text.splitlines()

@@ -20,6 +20,26 @@ def test_cap_drops_excess():
         timeline.record(ts, 0, "x")
     assert len(timeline) == 2
     assert timeline.dropped == 3
+    # Drop-new mode keeps the *oldest* events.
+    assert [event.ts_ns for event in timeline] == [0, 1]
+
+
+def test_ring_mode_keeps_newest():
+    timeline = Timeline(cap=2, ring=True)
+    for ts in range(5):
+        timeline.record(ts, 0, "x")
+    assert len(timeline) == 2
+    assert timeline.dropped == 3
+    assert [event.ts_ns for event in timeline] == [3, 4]
+
+
+def test_summary_reports_drops_and_mode():
+    timeline = Timeline(cap=2, ring=True)
+    for ts in range(3):
+        timeline.record(ts, 0, "x")
+    assert timeline.summary() == {"events": 2, "dropped": 1, "cap": 2,
+                                  "mode": "ring"}
+    assert Timeline(cap=5).summary()["mode"] == "drop-new"
 
 
 def test_spans_pairing():

@@ -1,0 +1,106 @@
+"""Tests for the Chrome-trace / JSONL / metrics exporters."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry, Tracer, chrome_trace, write_chrome_trace, write_jsonl,
+    write_metrics_json,
+)
+
+
+def make_tracer():
+    tracer = Tracer(enabled=True)
+    tracer.record(1_000, 0, "sched_in", thread="alpha")
+    tracer.record(5_000, 0, "sched_out", thread="alpha", outcome="blocked")
+    tracer.record(6_000, 0, "vmenter", vcpu="v0", slice_ns=50_000)
+    tracer.record(9_000, 0, "vmexit", vcpu="v0", reason="halt")
+    tracer.record(2_000, 1, "rq_depth", depth=3)
+    tracer.record(7_000, 1, "ipi_send", dst=0, vector="resched", routed=False)
+    return tracer
+
+
+def test_slice_pairing_and_categories():
+    doc = chrome_trace(make_tracer())
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {s["cat"] for s in slices} == {"kernel", "virt"}
+    sched = next(s for s in slices if s["cat"] == "kernel")
+    assert sched["name"] == "alpha"
+    assert sched["ts"] == 1.0 and sched["dur"] == 4.0  # microseconds
+    vm = next(s for s in slices if s["cat"] == "virt")
+    assert vm["args"]["slice_ns"] == 50_000
+    assert vm["args"]["reason"] == "halt"
+
+
+def test_counter_and_instant_events():
+    doc = chrome_trace(make_tracer())
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert counters[0]["args"] == {"depth": 3}
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert any(e["name"] == "ipi_send" and e["cat"] == "ipi" for e in instants)
+
+
+def test_unmatched_end_degrades_to_instant():
+    tracer = Tracer(enabled=True)
+    tracer.record(5_000, 0, "vmexit", vcpu="v0", reason="halt")
+    doc = chrome_trace(tracer)
+    events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert len(events) == 1
+    assert events[0]["ph"] == "i" and events[0]["name"] == "vmexit"
+
+
+def test_open_slice_closed_at_trace_end():
+    tracer = Tracer(enabled=True)
+    tracer.record(1_000, 0, "vmenter", vcpu="v0")
+    tracer.record(8_000, 1, "rq_depth", depth=1)
+    doc = chrome_trace(tracer)
+    vm = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+    assert vm["args"]["open_at_trace_end"] is True
+    assert vm["ts"] + vm["dur"] == 8.0  # clipped at the last event seen
+
+
+def test_multi_stream_pids_and_drop_count():
+    first = make_tracer()
+    second = Tracer(cap=1, ring=True, enabled=True)
+    second.record(1, 0, "enqueue", thread="a")
+    second.record(2, 0, "enqueue", thread="b")
+    doc = chrome_trace([("naive", first), ("taichi", second)])
+    assert {e["pid"] for e in doc["traceEvents"]} == {0, 1}
+    names = [e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"]
+    assert names == ["naive", "taichi"]
+    assert doc["otherData"]["dropped_events"] == 1
+
+
+def test_chrome_trace_round_trips_json(tmp_path):
+    path = write_chrome_trace(tmp_path / "t.json", make_tracer())
+    with open(path) as handle:
+        doc = json.loads(handle.read())
+    assert doc["displayTimeUnit"] == "ns"
+    assert doc["traceEvents"]
+
+
+def test_jsonl_one_object_per_event(tmp_path):
+    tracer = make_tracer()
+    path = write_jsonl(tmp_path / "t.jsonl", tracer)
+    with open(path) as handle:
+        lines = [json.loads(line) for line in handle]
+    assert len(lines) == len(tracer)
+    assert lines[0] == {"pid": 0, "stream": "trace", "ts_ns": 1_000,
+                        "cpu": 0, "kind": "sched_in",
+                        "args": {"thread": "alpha"}}
+
+
+def test_metrics_json_handles_enum_keys(tmp_path):
+    import enum
+
+    class Reason(enum.Enum):
+        HALT = "halt"
+
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.add_source("s", lambda: {"reason": Reason.HALT, "obj": object()})
+    path = write_metrics_json(tmp_path / "m.json", registry)
+    with open(path) as handle:
+        doc = json.load(handle)
+    assert doc["counters"]["c"] == 1
+    assert doc["sources"]["s"]["reason"] == "halt"

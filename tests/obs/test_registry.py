@@ -1,0 +1,72 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    registry = MetricsRegistry()
+    counter = registry.counter("dp.idle_yields")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("dp.idle_yields") is counter
+    assert registry.snapshot()["counters"]["dp.idle_yields"] == 5
+
+
+def test_gauge_set_and_set_max():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("engine.heap_peak")
+    gauge.set(10)
+    gauge.set_max(7)
+    assert gauge.value == 10
+    gauge.set_max(42)
+    assert registry.snapshot()["gauges"]["engine.heap_peak"] == 42
+
+
+def test_histogram_percentiles_and_summary():
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency")
+    for value in range(1, 101):
+        hist.record(value)
+    assert hist.count == 100
+    assert hist.percentile(50) == pytest.approx(50, abs=2)
+    summary = registry.snapshot()["histograms"]["latency"]
+    assert summary["count"] == 100
+
+
+def test_cross_type_reregistration_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+    with pytest.raises(ValueError):
+        registry.histogram("x")
+
+
+def test_sources_collected_lazily_and_deduped():
+    registry = MetricsRegistry()
+    calls = []
+
+    def source():
+        calls.append(1)
+        return {"steals": 3}
+
+    assert registry.add_source("kernel.os", source) == "kernel.os"
+    assert registry.add_source("kernel.os", source) == "kernel.os#2"
+    assert calls == []  # nothing collected yet
+    snap = registry.snapshot()
+    assert snap["sources"]["kernel.os"] == {"steals": 3}
+    assert snap["sources"]["kernel.os#2"] == {"steals": 3}
+    assert len(calls) == 2
+
+
+def test_to_text_includes_instruments_and_engine_sources():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.add_source("engine", lambda: {"events_processed": 9})
+    registry.add_source("kernel.os", lambda: {"steals": 1})
+    text = registry.to_text()
+    assert "c: 2" in text
+    assert "engine.events_processed: 9" in text
+    assert "steals" not in text  # non-engine sources stay out of the summary

@@ -1,0 +1,65 @@
+"""Tests for observability sessions and the instrumented simulator spine."""
+
+from repro.obs import current, observe
+from repro.sim import Environment
+
+
+def test_no_session_by_default():
+    assert current() is None
+    env = Environment()
+    assert not env.tracer.enabled
+    assert env.metrics is not Environment().metrics
+
+
+def test_session_adopts_every_new_environment():
+    with observe(trace=True) as session:
+        assert current() is session
+        env_a = Environment()
+        env_b = Environment()
+        assert env_a.tracer.enabled and env_b.tracer.enabled
+        assert env_a.metrics is session.metrics
+        assert env_b.metrics is session.metrics
+        assert len(session.streams) == 2
+    assert current() is None
+
+
+def test_observe_is_reentrant():
+    with observe() as outer:
+        with observe() as inner:
+            assert current() is inner
+        assert current() is outer
+
+
+def test_engine_self_profiling_source():
+    with observe() as session:
+        env = Environment()
+
+        def ticker():
+            for _ in range(10):
+                yield env.timeout(100)
+
+        env.process(ticker())
+        env.run()
+        snap = session.metrics.snapshot()
+        engine = snap["sources"]["engine"]
+    assert engine["events_processed"] >= 10
+    assert engine["heap_peak"] >= 1
+    assert engine["sim_time_ns"] == 1_000
+    assert engine["wall_time_s"] > 0
+    assert engine["events_per_wall_s"] > 0
+
+
+def test_fig4_emits_vm_transitions_through_the_spine():
+    # Integration: the fig4 experiment's Tai Chi scenario must push
+    # vmenter/vmexit pairs and IPI events through a session's streams.
+    from repro.experiments.registry import run_experiment
+
+    with observe(trace=True) as session:
+        result = run_experiment("fig4")
+        vmenter = session.events(kind="vmenter")
+        vmexit = session.events(kind="vmexit")
+        ipis = session.events(kind="ipi_send")
+    assert result.derived["spike_vs_clean"] > 100
+    assert vmenter and vmexit
+    assert {e.detail["vcpu"] for e in vmenter} <= {f"v{i}" for i in range(8)}
+    assert ipis  # vCPU boot INIT/STARTUP at minimum

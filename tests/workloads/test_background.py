@@ -1,6 +1,5 @@
 """Tests for the background load generators."""
 
-import pytest
 
 from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
 from repro.sim import MILLISECONDS, SECONDS
