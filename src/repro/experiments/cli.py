@@ -28,6 +28,20 @@ def main(argv=None):
                             help="write raw trace events as JSON lines")
     run_parser.add_argument("--metrics", default=None, metavar="PATH",
                             help="write a metrics-registry snapshot as JSON")
+    run_parser.add_argument("--check-invariants", action="store_true",
+                            help="verify causal invariants (IPI delivery, "
+                                 "slice pairing, ...) inline during the run; "
+                                 "exit 1 on any violation")
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="profile a JSONL trace capture (scheduling latency, switch "
+             "costs, IPI latency) and check causal invariants")
+    analyze_parser.add_argument("path", help="JSONL capture from run --jsonl")
+    analyze_parser.add_argument("--json", default=None, metavar="PATH",
+                                help="also write the full report as JSON")
+    analyze_parser.add_argument("--no-invariants", action="store_true",
+                                help="skip the invariant checkers")
 
     validate_parser = sub.add_parser(
         "validate", help="run all experiments and check the paper's shapes")
@@ -39,20 +53,44 @@ def main(argv=None):
                                  help="comma-separated experiment ids")
 
     args = parser.parse_args(argv)
+
+    if args.command == "analyze":
+        from repro.obs.analysis import (
+            analyze_capture, format_analysis, write_analysis_json,
+        )
+
+        analysis = analyze_capture(
+            args.path, check_invariants=not args.no_invariants)
+        print(format_analysis(analysis))
+        if args.json:
+            write_analysis_json(args.json, analysis)
+            print(f"wrote analysis report to {args.json}")
+        return 1 if analysis["violations"] else 0
+
     # Import here so `--help` stays fast.
     from repro.experiments import EXPERIMENTS, run_experiment
 
     if args.command == "validate":
-        from repro.experiments.validate import run_validation, write_experiments_md
+        from repro.experiments.validate import (
+            profile_scheduling, run_validation, write_experiments_md,
+        )
 
         exp_ids = args.only.split(",") if args.only else None
         outcomes = run_validation(scale=args.scale, seed=args.seed,
                                   exp_ids=exp_ids, progress=print)
         failures = [outcome["id"] for outcome in outcomes
                     if not all(ok for _, ok in outcome["checks"])]
+        profile = profile_scheduling(scale=args.scale, seed=args.seed)
+        n_violations = len(profile["violations"])
+        status = "OK " if n_violations == 0 else "FAIL"
+        print(f"[{status}] latency profile ({profile['exp_id']}): "
+              f"{n_violations} invariant violations")
         if args.out:
-            write_experiments_md(args.out, outcomes, args.scale, args.seed)
+            write_experiments_md(args.out, outcomes, args.scale, args.seed,
+                                 profile=profile)
             print(f"wrote {args.out}")
+        if n_violations:
+            failures.append("latency-profile")
         if failures:
             print(f"shape-check failures: {failures}")
             return 1
@@ -73,7 +111,8 @@ def main(argv=None):
     tracing = args.trace is not None or args.jsonl is not None
     targets = sorted(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
     reports = []
-    with observe(trace=tracing) as session:
+    with observe(trace=tracing,
+                 check_invariants=args.check_invariants) as session:
         for exp_id in targets:
             started = time.time()
             result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
@@ -98,6 +137,18 @@ def main(argv=None):
     if args.out:
         with open(args.out, "a") as handle:
             handle.write("\n\n".join(reports) + "\n")
+    if args.check_invariants:
+        violations = session.violations()
+        if violations:
+            print(f"INVARIANT VIOLATIONS: {len(violations)}")
+            for label, violation in violations[:20]:
+                print(f"  stream {label!r}:")
+                for row in str(violation).splitlines():
+                    print(f"  {row}")
+            if len(violations) > 20:
+                print(f"  ... {len(violations) - 20} more")
+            return 1
+        print("invariants: all checks passed (0 violations)")
     return 0
 
 

@@ -26,24 +26,24 @@ class ExperimentResult:
         lines = [f"== {self.exp_id}: {self.title} ({self.paper_ref}) =="]
         if self.rows:
             lines.append(format_table(self.rows))
-        if self.derived:
-            lines.append("-- derived --")
-            for key, value in self.derived.items():
-                lines.append(f"  {key}: {_fmt(value)}")
-        if self.paper:
-            lines.append("-- paper reference --")
-            for key, value in self.paper.items():
-                lines.append(f"  {key}: {_fmt(value)}")
-        if self.metrics:
-            lines.append("-- metrics --")
-            for key, value in self.metrics.items():
-                lines.append(f"  {key}: {_fmt(value)}")
+        lines.extend(format_section("derived", self.derived))
+        lines.extend(format_section("paper reference", self.paper))
+        lines.extend(format_section("metrics", self.metrics))
         if self.notes:
             lines.append(f"-- notes --\n  {self.notes}")
         return "\n".join(lines)
 
     def __str__(self):
         return self.to_text()
+
+
+def format_section(title, mapping):
+    """Render one ``-- title --`` block of key/value lines (empty → [])."""
+    if not mapping:
+        return []
+    lines = [f"-- {title} --"]
+    lines.extend(f"  {key}: {_fmt(value)}" for key, value in mapping.items())
+    return lines
 
 
 def format_table(rows):

@@ -7,6 +7,8 @@ from repro.metrics.stats import (
     RateMeter,
     WelfordStats,
     percentile,
+    percentiles,
+    summarize,
 )
 from repro.metrics.schedviz import occupancy_spans, render_gantt
 from repro.metrics.timeline import Timeline, TimelineEvent
@@ -22,4 +24,6 @@ __all__ = [
     "TimelineEvent",
     "WelfordStats",
     "percentile",
+    "percentiles",
+    "summarize",
 ]

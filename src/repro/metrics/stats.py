@@ -12,6 +12,39 @@ def percentile(values, q):
     return float(np.percentile(np.asarray(values, dtype=float), q))
 
 
+def percentiles(values, qs=(50, 90, 99)):
+    """Several percentiles in one sort: ``{"p50": ..., "p90": ..., ...}``.
+
+    ``qs`` entries are 0-100 percentile ranks; fractional ranks render
+    without a trailing zero (99.9 -> ``"p99.9"``).
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("percentiles of empty sequence")
+    results = np.percentile(data, list(qs))
+    return {f"p{q:g}": float(value) for q, value in zip(qs, results)}
+
+
+def summarize(values, qs=(50, 90, 99)):
+    """Distribution summary of raw samples: count/min/mean/max + percentiles.
+
+    The one-stop helper for analyzers and reports; an empty sequence
+    yields ``{"count": 0}`` rather than raising, so callers can render
+    sections unconditionally.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return {"count": 0}
+    summary = {
+        "count": int(data.size),
+        "min": float(data.min()),
+        "mean": float(data.mean()),
+        "max": float(data.max()),
+    }
+    summary.update(percentiles(data, qs))
+    return summary
+
+
 class WelfordStats:
     """Single-pass mean/variance/min/max accumulator."""
 

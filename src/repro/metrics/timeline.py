@@ -46,11 +46,18 @@ class Timeline:
         self.dropped = 0
 
     def record(self, ts_ns, cpu_id, kind, **detail):
+        """Record one event; returns it even when storage dropped it.
+
+        Returning the event lets subscribers (inline invariant checkers)
+        observe the full stream regardless of the capacity policy.
+        """
+        event = TimelineEvent(ts_ns, cpu_id, kind, detail)
         if len(self.events) >= self.cap:
             self.dropped += 1
             if not self.ring:
-                return
-        self.events.append(TimelineEvent(ts_ns, cpu_id, kind, detail))
+                return event
+        self.events.append(event)
+        return event
 
     def filter(self, kind=None, cpu_id=None):
         out = list(self.events)

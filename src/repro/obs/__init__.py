@@ -19,12 +19,26 @@ Typical use from the experiments harness::
 See ``docs/observability.md`` for the event taxonomy and formats.
 """
 
+from repro.obs.analysis import (
+    analyze_capture,
+    analyze_events,
+    analyze_streams,
+    format_analysis,
+    load_jsonl,
+    write_analysis_json,
+)
 from repro.obs.export import (
     chrome_trace,
     format_metrics,
     write_chrome_trace,
     write_jsonl,
     write_metrics_json,
+)
+from repro.obs.invariants import (
+    InvariantEngine,
+    Violation,
+    check_events,
+    default_checkers,
 )
 from repro.obs.registry import (
     Counter,
@@ -39,13 +53,23 @@ __all__ = [
     "Counter",
     "Gauge",
     "HistogramMetric",
+    "InvariantEngine",
     "MetricsRegistry",
     "ObservabilitySession",
     "Tracer",
+    "Violation",
+    "analyze_capture",
+    "analyze_events",
+    "analyze_streams",
+    "check_events",
     "chrome_trace",
     "current",
+    "default_checkers",
+    "format_analysis",
     "format_metrics",
+    "load_jsonl",
     "observe",
+    "write_analysis_json",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics_json",

@@ -158,9 +158,28 @@ def write_chrome_trace(path, trace_source):
 
 
 def write_jsonl(path, trace_source):
-    """Write one JSON object per trace event; returns the path."""
+    """Write one JSON object per trace event; returns the path.
+
+    Each stream is prefixed with one ``"kind": "trace_meta"`` object
+    carrying the capture bookkeeping (event/drop counts, capacity, ring
+    mode) — the JSONL equivalent of the Chrome exporter's
+    ``otherData.dropped_events``, so downstream analyzers can tell a
+    truncated stream from a complete one.
+    """
     with open(path, "w") as handle:
         for pid, (label, tracer) in enumerate(_normalize_streams(trace_source)):
+            summary_fn = getattr(tracer, "summary", None)
+            meta = summary_fn() if callable(summary_fn) else {
+                "events": sum(1 for _ in tracer),
+                "dropped": getattr(tracer, "dropped", 0),
+            }
+            handle.write(json.dumps({
+                "pid": pid,
+                "stream": label,
+                "kind": "trace_meta",
+                "args": {key: _jsonable(val) for key, val in meta.items()},
+            }))
+            handle.write("\n")
             for event in tracer:
                 handle.write(json.dumps({
                     "pid": pid,
@@ -181,7 +200,7 @@ def write_metrics_json(path, registry):
     return path
 
 
-def format_metrics(snapshot, source_prefixes=("engine",)):
+def format_metrics(snapshot, source_prefixes=("sim.engine",)):
     """Render a snapshot's headline numbers as indented text lines."""
     lines = []
     for section in ("counters", "gauges"):

@@ -1,0 +1,380 @@
+"""Streaming causal-invariant checkers for trace streams.
+
+The simulator's causal story — every IPI delivered, every ``vmenter``
+paired with a ``vmexit``, no thread on two CPUs at once — is encoded here
+as small pluggable checkers.  Each checker consumes one event at a time,
+so the same objects run **inline** during a simulation (hooked into a
+tracer via :meth:`~repro.sim.environment.Environment.add_trace_hook` or
+``observe(check_invariants=True)``) or **post-hoc** over a capture
+(:func:`check_events`, or ``taichi-experiments analyze``).
+
+Violations fail loudly: each carries the checker name, a precise message,
+the offending event, and the events that led up to it.
+
+Caveat for post-hoc runs: a ring-buffer capture that dropped its oldest
+events may have lost the *begin* half of slice pairs, so pairing checkers
+can report artifacts on truncated streams.  The analyzer surfaces the
+drop count next to any violations; inline checking never has this
+problem because hooks see events before the capacity policy drops them.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Violation:
+    """One invariant breach with enough context to debug it."""
+
+    checker: str
+    message: str
+    event: object = None       # the offending TimelineEvent, if any
+    context: tuple = ()        # recent events preceding the offender
+
+    def to_dict(self):
+        return {
+            "checker": self.checker,
+            "message": self.message,
+            "event": str(self.event) if self.event is not None else None,
+            "context": [str(event) for event in self.context],
+        }
+
+    def __str__(self):
+        lines = [f"[{self.checker}] {self.message}"]
+        for event in self.context:
+            lines.append(f"    ... {event}")
+        if self.event is not None:
+            lines.append(f"    >>> {self.event}")
+        return "\n".join(lines)
+
+
+class InvariantChecker:
+    """Base class: feed events through :meth:`observe`, then :meth:`finish`.
+
+    Both return an iterable of :class:`Violation`.  Checkers are cheap,
+    single-pass, and keep O(open-state) memory so they can run inline on
+    multi-million-event streams.
+    """
+
+    name = "invariant"
+
+    def observe(self, event):
+        return ()
+
+    def finish(self, last_ts_ns):
+        """Called once after the stream ends; ``last_ts_ns`` is the final
+        timestamp seen (0 for an empty stream)."""
+        return ()
+
+
+class MonotonicTimestamps(InvariantChecker):
+    """Events must be recorded in non-decreasing timestamp order."""
+
+    name = "monotonic_timestamps"
+
+    def __init__(self):
+        self._last_ts = None
+
+    def observe(self, event):
+        out = []
+        if self._last_ts is not None and event.ts_ns < self._last_ts:
+            out.append(Violation(
+                self.name,
+                f"timestamp went backwards: {event.ts_ns} ns after "
+                f"{self._last_ts} ns",
+                event,
+            ))
+        self._last_ts = max(event.ts_ns, self._last_ts or event.ts_ns)
+        return out
+
+
+class IpiDeliveryBound(InvariantChecker):
+    """Every ``ipi_send`` must produce a matching ``ipi_deliver`` in time.
+
+    Sends and delivers are matched FIFO per (destination CPU, vector).
+    A delivery later than ``bound_ns`` after its send — or a send never
+    delivered at all by ``bound_ns`` before stream end — is a violation.
+    Deliveries without a send are legal (``IPIController.deliver`` is also
+    the device-IRQ path and bypasses the send hook).
+    """
+
+    name = "ipi_delivery_bound"
+
+    def __init__(self, bound_ns=1_000_000):
+        self.bound_ns = int(bound_ns)
+        self._pending = {}     # (dst, vector) -> deque of send events
+
+    def observe(self, event):
+        if event.kind == "ipi_send":
+            key = (event.detail.get("dst"), event.detail.get("vector"))
+            self._pending.setdefault(key, deque()).append(event)
+            return ()
+        if event.kind != "ipi_deliver":
+            return ()
+        key = (event.cpu_id, event.detail.get("vector"))
+        queue = self._pending.get(key)
+        if not queue:
+            return ()
+        send = queue.popleft()
+        dt = event.ts_ns - send.ts_ns
+        if dt > self.bound_ns:
+            return [Violation(
+                self.name,
+                f"IPI {key[1]!r} to cpu {key[0]!r} delivered {dt} ns after "
+                f"send (bound {self.bound_ns} ns)",
+                event,
+                context=(send,),
+            )]
+        return ()
+
+    def finish(self, last_ts_ns):
+        out = []
+        for (dst, vector), queue in sorted(
+                self._pending.items(), key=lambda item: str(item[0])):
+            for send in queue:
+                overdue = last_ts_ns - send.ts_ns
+                if overdue > self.bound_ns:
+                    out.append(Violation(
+                        self.name,
+                        f"IPI {vector!r} to cpu {dst!r} sent at "
+                        f"{send.ts_ns} ns was never delivered "
+                        f"({overdue} ns elapsed, bound {self.bound_ns} ns)",
+                        send,
+                    ))
+        return out
+
+
+class SlicePairNesting(InvariantChecker):
+    """``sched_in/out`` and ``vmenter/vmexit`` must pair up per CPU.
+
+    A begin while the same kind is already open on that CPU, an end with
+    no open begin, or an end naming a different thread/vCPU than its
+    begin are all violations.  Slices still open at stream end are legal
+    (the run simply stopped mid-slice).
+    """
+
+    name = "slice_pair_nesting"
+
+    _PAIRS = {"sched_in": ("sched_out", "thread"),
+              "vmenter": ("vmexit", "vcpu")}
+    _ENDS = {end: (begin, ident) for begin, (end, ident) in _PAIRS.items()}
+
+    def __init__(self):
+        self._open = {}        # (cpu, begin_kind) -> begin event
+
+    def observe(self, event):
+        kind = event.kind
+        if kind in self._PAIRS:
+            key = (event.cpu_id, kind)
+            stale = self._open.get(key)
+            self._open[key] = event
+            if stale is not None:
+                return [Violation(
+                    self.name,
+                    f"nested {kind} on cpu {event.cpu_id!r}: previous "
+                    f"{kind} at {stale.ts_ns} ns never closed",
+                    event,
+                    context=(stale,),
+                )]
+            return ()
+        if kind in self._ENDS:
+            begin_kind, ident = self._ENDS[kind]
+            begin = self._open.pop((event.cpu_id, begin_kind), None)
+            if begin is None:
+                return [Violation(
+                    self.name,
+                    f"unpaired {kind} on cpu {event.cpu_id!r}: no open "
+                    f"{begin_kind}",
+                    event,
+                )]
+            if begin.detail.get(ident) != event.detail.get(ident):
+                return [Violation(
+                    self.name,
+                    f"{kind} on cpu {event.cpu_id!r} closes "
+                    f"{ident}={event.detail.get(ident)!r} but the open "
+                    f"{begin_kind} was {ident}={begin.detail.get(ident)!r}",
+                    event,
+                    context=(begin,),
+                )]
+        return ()
+
+
+class SingleCpuPerThread(InvariantChecker):
+    """A thread may be running (``sched_in`` .. ``sched_out``) on at most
+    one CPU at a time."""
+
+    name = "single_cpu_per_thread"
+
+    def __init__(self):
+        self._running = {}     # thread -> sched_in event
+
+    def observe(self, event):
+        if event.kind == "sched_in":
+            thread = event.detail.get("thread")
+            active = self._running.get(thread)
+            self._running[thread] = event
+            if active is not None and active.cpu_id != event.cpu_id:
+                return [Violation(
+                    self.name,
+                    f"thread {thread!r} sched_in on cpu {event.cpu_id!r} "
+                    f"while still running on cpu {active.cpu_id!r}",
+                    event,
+                    context=(active,),
+                )]
+        elif event.kind == "sched_out":
+            thread = event.detail.get("thread")
+            active = self._running.get(thread)
+            if active is not None and active.cpu_id == event.cpu_id:
+                del self._running[thread]
+        return ()
+
+
+class IdleYieldThreshold(InvariantChecker):
+    """``dp_idle_yield`` only after the empty-poll threshold was crossed.
+
+    A service yields after waiting ``threshold * poll_ns`` with no
+    traffic, so the yield must come at least that long after the CPU's
+    previous slice end (``vmexit``) or previous yield.  A yield inside
+    that budget means the threshold crossing was fabricated.
+    """
+
+    name = "idle_yield_threshold"
+
+    def __init__(self, poll_ns=200):
+        self.poll_ns = int(poll_ns)
+        self._floor = {}       # cpu -> last vmexit/dp_idle_yield event
+
+    def observe(self, event):
+        if event.kind == "vmexit":
+            self._floor[event.cpu_id] = event
+            return ()
+        if event.kind != "dp_idle_yield":
+            return ()
+        floor = self._floor.get(event.cpu_id)
+        self._floor[event.cpu_id] = event
+        threshold = event.detail.get("threshold")
+        if floor is None or not isinstance(threshold, int):
+            return ()
+        budget_ns = max(threshold, 1) * self.poll_ns
+        gap = event.ts_ns - floor.ts_ns
+        if gap < budget_ns:
+            return [Violation(
+                self.name,
+                f"dp_idle_yield on cpu {event.cpu_id!r} only {gap} ns "
+                f"after {floor.kind} — threshold {threshold} needs "
+                f"{budget_ns} ns of empty polling",
+                event,
+                context=(floor,),
+            )]
+        return ()
+
+
+class RunQueueDepthConsistency(InvariantChecker):
+    """``rq_depth`` samples must be plausible run-queue depths.
+
+    Depths are non-negative integers, and the sample emitted right after
+    an ``enqueue`` on the same CPU at the same instant must report at
+    least the thread just queued.
+    """
+
+    name = "runqueue_depth"
+
+    def __init__(self):
+        self._prev = None      # immediately preceding event in the stream
+
+    def observe(self, event):
+        prev, self._prev = self._prev, event
+        if event.kind != "rq_depth":
+            return ()
+        depth = event.detail.get("depth")
+        if not isinstance(depth, int) or depth < 0:
+            return [Violation(
+                self.name,
+                f"rq_depth on cpu {event.cpu_id!r} reports invalid depth "
+                f"{depth!r}",
+                event,
+            )]
+        if (prev is not None and prev.kind == "enqueue"
+                and prev.cpu_id == event.cpu_id
+                and prev.ts_ns == event.ts_ns and depth < 1):
+            return [Violation(
+                self.name,
+                f"rq_depth 0 on cpu {event.cpu_id!r} immediately after an "
+                f"enqueue at the same instant",
+                event,
+                context=(prev,),
+            )]
+        return ()
+
+
+DEFAULT_CHECKERS = (
+    MonotonicTimestamps,
+    IpiDeliveryBound,
+    SlicePairNesting,
+    SingleCpuPerThread,
+    IdleYieldThreshold,
+    RunQueueDepthConsistency,
+)
+
+
+def default_checkers():
+    """Fresh instances of the full checker catalog."""
+    return [checker() for checker in DEFAULT_CHECKERS]
+
+
+@dataclass
+class InvariantEngine:
+    """Runs a set of checkers over one event stream.
+
+    Feed events through :meth:`observe` (usable directly as a tracer
+    hook), then call :meth:`finish` once for end-of-stream checks.  Keeps
+    a short ring of recent events and attaches it to each violation as
+    context.
+    """
+
+    checkers: list = None
+    context_events: int = 4
+    max_violations: int = 1_000
+
+    violations: list = field(default_factory=list, init=False)
+    overflowed: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.checkers is None:
+            self.checkers = default_checkers()
+        self._recent = deque(maxlen=self.context_events)
+        self._last_ts = 0
+        self._finished = False
+
+    def observe(self, event):
+        for checker in self.checkers:
+            for violation in checker.observe(event):
+                if not violation.context:
+                    violation.context = tuple(self._recent)
+                self._add(violation)
+        self._recent.append(event)
+        if event.ts_ns > self._last_ts:
+            self._last_ts = event.ts_ns
+
+    def finish(self):
+        """End-of-stream checks; idempotent.  Returns all violations."""
+        if not self._finished:
+            self._finished = True
+            for checker in self.checkers:
+                for violation in checker.finish(self._last_ts):
+                    self._add(violation)
+        return self.violations
+
+    def _add(self, violation):
+        if len(self.violations) >= self.max_violations:
+            self.overflowed += 1
+            return
+        self.violations.append(violation)
+
+
+def check_events(events, checkers=None):
+    """Post-hoc convenience: run checkers over ``events``, return violations."""
+    engine = InvariantEngine(checkers=checkers)
+    for event in events:
+        engine.observe(event)
+    return engine.finish()

@@ -19,6 +19,11 @@ Two usage styles coexist deliberately:
 The second style is what keeps the spine near-zero-overhead: hot paths
 never touch the registry, they keep bumping the plain attributes they
 always had, and collection happens once at the end of a run.
+
+**Naming convention:** every instrument and source name is dotted
+``subsystem.component`` — ``dp.idle_yields``, ``core.sw_probe``,
+``kernel.smartnic-os``, ``sim.engine``.  The first segment is the owning
+package under ``repro``; no bare (undotted) names.
 """
 
 from repro.metrics.stats import LatencyRecorder
@@ -151,7 +156,7 @@ class MetricsRegistry:
             "sources": {name: fn() for name, fn in sorted(self._sources.items())},
         }
 
-    def to_text(self, source_prefixes=("engine",)):
+    def to_text(self, source_prefixes=("sim.engine",)):
         """Compact text summary: instruments plus selected sources."""
         snap = self.snapshot()
         lines = ["-- metrics --"]

@@ -23,21 +23,44 @@ _ACTIVE = None
 
 
 class ObservabilitySession:
-    """Collects trace streams and metrics across simulation environments."""
+    """Collects trace streams and metrics across simulation environments.
 
-    def __init__(self, trace=False, trace_cap=1_000_000, ring=True):
+    With ``check_invariants=True`` every adopted environment also gets a
+    streaming :class:`~repro.obs.invariants.InvariantEngine` hooked into
+    its tracer, verifying the causal invariants (IPI delivery, slice
+    pairing, single-CPU-per-thread, ...) inline while the simulation
+    runs; :meth:`violations` collects the findings.
+    """
+
+    def __init__(self, trace=False, trace_cap=1_000_000, ring=True,
+                 check_invariants=False):
         self.trace = trace
         self.trace_cap = trace_cap
         self.ring = ring
+        self.check_invariants = check_invariants
         self.metrics = MetricsRegistry()
         self.streams = []          # [(label, Tracer)]
+        self.invariant_engines = []  # [(label, InvariantEngine)]
 
     def adopt_environment(self, env, label=None):
         """Give ``env`` its tracer; called from Environment.__init__."""
         label = label or f"env{len(self.streams)}"
         tracer = Tracer(cap=self.trace_cap, ring=self.ring, enabled=self.trace)
+        if self.check_invariants:
+            from repro.obs.invariants import InvariantEngine
+
+            engine = InvariantEngine()
+            tracer.add_hook(engine.observe)  # enables the tracer
+            self.invariant_engines.append((label, engine))
         self.streams.append((label, tracer))
         return tracer
+
+    def violations(self):
+        """Finalize inline checkers; returns ``[(stream_label, Violation)]``."""
+        out = []
+        for label, engine in self.invariant_engines:
+            out.extend((label, violation) for violation in engine.finish())
+        return out
 
     def events(self, kind=None):
         """All captured events across streams (optionally one kind)."""
@@ -62,10 +85,12 @@ def current():
 
 
 @contextmanager
-def observe(trace=False, trace_cap=1_000_000, ring=True):
+def observe(trace=False, trace_cap=1_000_000, ring=True,
+            check_invariants=False):
     """Activate a session for the duration of the block (re-entrant)."""
     global _ACTIVE
-    session = ObservabilitySession(trace=trace, trace_cap=trace_cap, ring=ring)
+    session = ObservabilitySession(trace=trace, trace_cap=trace_cap, ring=ring,
+                                   check_invariants=check_invariants)
     previous = _ACTIVE
     _ACTIVE = session
     try:

@@ -46,6 +46,10 @@ class Tracer(Timeline):
     def __init__(self, cap=1_000_000, ring=True, enabled=False):
         super().__init__(cap=cap, ring=ring)
         self.enabled = enabled
+        # ``hook(event)`` callables invoked for every recorded event —
+        # including ones the capacity policy drops — so inline consumers
+        # (streaming invariant checkers) see the unabridged stream.
+        self.hooks = []
 
     def enable(self):
         self.enabled = True
@@ -55,10 +59,23 @@ class Tracer(Timeline):
         self.enabled = False
         return self
 
+    def add_hook(self, hook):
+        """Subscribe ``hook(event)`` to every recorded event; enables the
+        tracer (a hooked tracer that stays gated would observe nothing)."""
+        self.hooks.append(hook)
+        self.enabled = True
+        return hook
+
+    def remove_hook(self, hook):
+        if hook in self.hooks:
+            self.hooks.remove(hook)
+
     def record(self, ts_ns, cpu_id, kind, **detail):
         if not self.enabled:
             return
-        super().record(ts_ns, cpu_id, kind, **detail)
+        event = super().record(ts_ns, cpu_id, kind, **detail)
+        for hook in self.hooks:
+            hook(event)
 
     def __repr__(self):
         state = "on" if self.enabled else "off"

@@ -25,7 +25,7 @@ class Environment:
     :class:`~repro.obs.registry.MetricsRegistry`, shared with the active
     session if any).  The engine also profiles itself — events processed,
     peak heap depth, wall time spent in :meth:`run` — exposed through
-    :meth:`profile` and registered as the ``engine`` metrics source.
+    :meth:`profile` and registered as the ``sim.engine`` metrics source.
     """
 
     def __init__(self, initial_time=0):
@@ -46,7 +46,7 @@ class Environment:
         else:
             self.tracer = Tracer(enabled=False)
             self.metrics = MetricsRegistry()
-        self.metrics.add_source("engine", self.profile)
+        self.metrics.add_source("sim.engine", self.profile)
 
     @property
     def now(self):
@@ -124,10 +124,22 @@ class Environment:
             raise SimulationError("run() finished with the until-event untriggered")
         return None
 
+    # -- Observability hooks --------------------------------------------------
+
+    def add_trace_hook(self, hook):
+        """Subscribe ``hook(event)`` to every trace event of this env.
+
+        This is the inline-checker attachment point: a streaming invariant
+        engine hooked here verifies causality *during* the run instead of
+        post-hoc over a capture, and sees events even when the tracer's
+        ring buffer drops them.  Enables the tracer.
+        """
+        return self.tracer.add_hook(hook)
+
     # -- Engine self-profiling ------------------------------------------------
 
     def profile(self):
-        """DES engine self-profiling gauges (the ``engine`` metrics source)."""
+        """DES self-profiling gauges (the ``sim.engine`` metrics source)."""
         sim_s = self._now / 1e9
         wall = self._wall_s
         return {

@@ -46,11 +46,14 @@ def test_validate_writes_markdown(tmp_path, capsys):
     out_path = os.path.join(tmp_path, "EXP.md")
     assert main(["validate", "--scale", "0.1", "--only", "fig6",
                  "--out", out_path]) == 0
-    capsys.readouterr()
+    out = capsys.readouterr().out
+    assert "latency profile (fig4): 0 invariant violations" in out
     with open(out_path) as handle:
         text = handle.read()
     assert "# EXPERIMENTS" in text
     assert "fig6" in text
+    assert "Scheduling-latency profile" in text
+    assert "wakeup" in text
 
 
 def test_seed_changes_are_accepted(capsys):
@@ -68,7 +71,7 @@ def test_run_with_trace_and_metrics_exports(tmp_path, capsys):
                  "--jsonl", jsonl_path, "--metrics", metrics_path]) == 0
     out = capsys.readouterr().out
     assert "wrote Chrome trace" in out
-    assert "engine" in out  # metrics summary echoed to the terminal
+    assert "sim.engine" in out  # metrics summary echoed to the terminal
 
     with open(trace_path) as handle:
         doc = json.load(handle)
@@ -85,8 +88,39 @@ def test_run_with_trace_and_metrics_exports(tmp_path, capsys):
     with open(metrics_path) as handle:
         metrics = json.load(handle)
     engine_sources = [name for name in metrics["sources"]
-                      if name.split("#")[0] == "engine"]
+                      if name.split("#")[0] == "sim.engine"]
     assert engine_sources
     first = metrics["sources"][engine_sources[0]]
     assert first["events_processed"] > 0
     assert "events_per_wall_s" in first
+
+
+def test_run_check_invariants_clean(capsys):
+    assert main(["run", "fig4", "--scale", "0.2", "--check-invariants"]) == 0
+    out = capsys.readouterr().out
+    assert "all checks passed (0 violations)" in out
+
+
+def test_analyze_capture_roundtrip(tmp_path, capsys):
+    import json
+
+    jsonl_path = os.path.join(tmp_path, "t.jsonl")
+    json_path = os.path.join(tmp_path, "analysis.json")
+    assert main(["run", "fig4", "--jsonl", jsonl_path,
+                 "--check-invariants"]) == 0
+    capsys.readouterr()
+
+    assert main(["analyze", jsonl_path, "--json", json_path]) == 0
+    out = capsys.readouterr().out
+    assert "wakeup->sched_in latency" in out
+    assert "switch cost" in out
+    assert "all checks passed (0 violations)" in out
+
+    with open(json_path) as handle:
+        doc = json.load(handle)
+    assert not doc["violations"]
+    virt = [report for report in doc["streams"].values()
+            if report["switch_cost_ns"]["count"]]
+    assert virt
+    # Every vmexit->vmenter transition costs vmexit_ns + vmenter_ns = 2 us.
+    assert virt[0]["switch_cost_ns"]["max"] == pytest.approx(2000)

@@ -7,7 +7,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics import Cdf, Histogram, LatencyRecorder, RateMeter, WelfordStats, percentile
+from repro.metrics import (
+    Cdf, Histogram, LatencyRecorder, RateMeter, WelfordStats, percentile,
+    percentiles, summarize,
+)
 
 
 def test_welford_matches_numpy():
@@ -51,6 +54,35 @@ def test_percentile_interpolation():
     assert percentile([1, 2, 3, 4], 50) == 2.5
     with pytest.raises(ValueError):
         percentile([], 50)
+
+
+def test_percentiles_returns_labeled_quantiles():
+    values = list(range(1, 101))
+    result = percentiles(values, qs=(50, 90, 99))
+    assert set(result) == {"p50", "p90", "p99"}
+    assert result["p50"] == pytest.approx(np.percentile(values, 50))
+    assert result["p99"] == pytest.approx(np.percentile(values, 99))
+    with pytest.raises(ValueError):
+        percentiles([])
+
+
+def test_percentiles_fractional_quantile_label():
+    assert set(percentiles([1, 2, 3], qs=(99.9,))) == {"p99.9"}
+
+
+def test_summarize_full_summary():
+    values = [5, 1, 9, 3]
+    summary = summarize(values, qs=(50,))
+    assert summary["count"] == 4
+    assert summary["min"] == 1.0
+    assert summary["max"] == 9.0
+    assert summary["mean"] == pytest.approx(4.5)
+    assert summary["p50"] == pytest.approx(4.0)
+
+
+def test_summarize_empty_is_safe():
+    assert summarize([]) == {"count": 0}
+    assert summarize(iter(())) == {"count": 0}
 
 
 def test_latency_recorder_summary():

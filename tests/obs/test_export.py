@@ -79,15 +79,33 @@ def test_chrome_trace_round_trips_json(tmp_path):
     assert doc["traceEvents"]
 
 
-def test_jsonl_one_object_per_event(tmp_path):
+def test_jsonl_one_object_per_event_plus_meta(tmp_path):
     tracer = make_tracer()
     path = write_jsonl(tmp_path / "t.jsonl", tracer)
     with open(path) as handle:
         lines = [json.loads(line) for line in handle]
-    assert len(lines) == len(tracer)
-    assert lines[0] == {"pid": 0, "stream": "trace", "ts_ns": 1_000,
+    assert len(lines) == len(tracer) + 1  # trace_meta header line
+    assert lines[0] == {"pid": 0, "stream": "trace", "kind": "trace_meta",
+                        "args": {"events": len(tracer), "dropped": 0,
+                                 "cap": 1_000_000, "mode": "ring"}}
+    assert lines[1] == {"pid": 0, "stream": "trace", "ts_ns": 1_000,
                         "cpu": 0, "kind": "sched_in",
                         "args": {"thread": "alpha"}}
+
+
+def test_jsonl_meta_reports_drops_per_stream(tmp_path):
+    lossy = Tracer(cap=1, ring=True, enabled=True)
+    lossy.record(1, 0, "enqueue", thread="a")
+    lossy.record(2, 0, "enqueue", thread="b")
+    path = write_jsonl(tmp_path / "t.jsonl", [("full", make_tracer()),
+                                              ("lossy", lossy)])
+    with open(path) as handle:
+        metas = {line["stream"]: line["args"]
+                 for line in map(json.loads, handle)
+                 if line["kind"] == "trace_meta"}
+    assert metas["full"]["dropped"] == 0
+    assert metas["lossy"] == {"events": 1, "dropped": 1, "cap": 1,
+                              "mode": "ring"}
 
 
 def test_metrics_json_handles_enum_keys(tmp_path):

@@ -64,9 +64,9 @@ def test_sources_collected_lazily_and_deduped():
 def test_to_text_includes_instruments_and_engine_sources():
     registry = MetricsRegistry()
     registry.counter("c").inc(2)
-    registry.add_source("engine", lambda: {"events_processed": 9})
+    registry.add_source("sim.engine", lambda: {"events_processed": 9})
     registry.add_source("kernel.os", lambda: {"steals": 1})
     text = registry.to_text()
     assert "c: 2" in text
-    assert "engine.events_processed: 9" in text
+    assert "sim.engine.events_processed: 9" in text
     assert "steals" not in text  # non-engine sources stay out of the summary

@@ -41,7 +41,7 @@ def test_engine_self_profiling_source():
         env.process(ticker())
         env.run()
         snap = session.metrics.snapshot()
-        engine = snap["sources"]["engine"]
+        engine = snap["sources"]["sim.engine"]
     assert engine["events_processed"] >= 10
     assert engine["heap_peak"] >= 1
     assert engine["sim_time_ns"] == 1_000
