@@ -1,0 +1,14 @@
+"""Benchmark regenerating the fault-storm resilience extension.
+
+Runs ext_fault_resilience end to end at a reduced scale: the same storm
+preset hits a bare deployment and one with the graceful-degradation
+layer, and degradation must not lose on either SLO.
+"""
+
+
+def test_bench_ext_fault_resilience(record):
+    result = record("ext_fault_resilience", scale=0.2)
+    assert result.derived["faults_injected"] > 0
+    assert result.derived["degradation_responses"] > 0
+    assert result.derived["dp_p99_improvement"] > 1.0
+    assert result.derived["startup_compliance_gain_pct"] >= 0

@@ -31,6 +31,14 @@ class Deployment:
         )
         self.services = []
         self._configure()
+        # Fault injection: any plan active at construction time (see
+        # repro.faults.session) arms an injector against this deployment.
+        from repro.faults.session import current_plan
+        plan = current_plan()
+        self.fault_injector = None
+        if plan is not None:
+            from repro.faults.injector import FaultInjector
+            self.fault_injector = FaultInjector(self, plan).arm()
 
     # -- Subclass hooks -----------------------------------------------------------
 

@@ -25,6 +25,7 @@ Typical use::
 
 from repro.core.audit import AuditRecord, AuditSession, InstructionAuditor
 from repro.core.config import TaiChiConfig
+from repro.core.degradation import DegradationConfig, DegradationManager
 from repro.core.ipi_orchestrator import UnifiedIPIOrchestrator
 from repro.core.preemptible_context import PreemptibleKernelContext
 from repro.core.repartition import DynamicRepartitioner
@@ -35,6 +36,8 @@ from repro.core.vcpu_scheduler import VCPUScheduler
 __all__ = [
     "AuditRecord",
     "AuditSession",
+    "DegradationConfig",
+    "DegradationManager",
     "DynamicRepartitioner",
     "InstructionAuditor",
     "PreemptibleKernelContext",

@@ -30,6 +30,7 @@ class TaiChi:
         )
         self.vcpus = []
         self.installed = False
+        self.degradation = None
 
     def install(self, n_vcpus=None):
         """Deploy the framework; returns the created vCPUs."""
@@ -42,6 +43,17 @@ class TaiChi:
         self.vcpus = self.orchestrator.register_vcpus(count)
         self.installed = True
         return self.vcpus
+
+    def enable_degradation(self, config=None, repartition=None):
+        """Install the graceful-degradation layer (after :meth:`install`)."""
+        if not self.installed:
+            raise RuntimeError("install Tai Chi before enabling degradation")
+        if self.degradation is not None:
+            raise RuntimeError("degradation layer already enabled")
+        from repro.core.degradation import DegradationManager
+        self.degradation = DegradationManager(
+            self, config=config, repartition=repartition).install()
+        return self.degradation
 
     def attach_dp_service(self, service):
         """Hook a DP service's idle notifications into the framework."""
@@ -58,7 +70,7 @@ class TaiChi:
 
     def stats(self):
         """Aggregate framework statistics for experiment reports."""
-        return {
+        stats = {
             "scheduler": self.scheduler.stats(),
             "sw_probe": self.sw_probe.stats(),
             "ipi": self.orchestrator.stats(),
@@ -72,6 +84,9 @@ class TaiChi:
                 for vcpu in self.vcpus
             },
         }
+        if self.degradation is not None:
+            stats["degradation"] = self.degradation.stats()
+        return stats
 
     def __repr__(self):
         state = "installed" if self.installed else "pending"

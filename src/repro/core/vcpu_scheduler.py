@@ -37,13 +37,24 @@ class VCPUScheduler:
         self._runnable_set = set()
         # vCPUs handed to an in-flight softirq dispatch but not yet backed;
         # they must not be re-dispatched from another CPU in the meantime.
-        self._reserved = set()
+        # Maps vcpu -> reservation timestamp so the grant watchdog can age
+        # out reservations stranded by a CPU that died mid-dispatch.
+        self._reserved = {}
         self.active = {}                  # pcpu_id -> BackingGrant
         self._slice_ns = {}               # vcpu -> adaptive slice
         self._services_by_cpu = {}        # pcpu_id -> DPService
         self._cp_pcpus = list(board.cp_cpu_ids)
         self._cp_pcpu_rr = 0              # round-robin index for lock-safe fallback
         self.sw_probe = None              # wired by TaiChi
+
+        # Graceful degradation (driven by repro.core.degradation).
+        # probe_degraded: operate as if hw_probe_enabled were off — slices
+        # end on expiry only — with an optional tighter slice cap so DP
+        # packets are not stranded behind full adaptive slices.
+        self.probe_degraded = False
+        self.degraded_max_slice_ns = None
+        self._donation_blocked_until = {}  # pcpu_id -> ns horizon
+        self.donation_blocks = 0
 
         # Statistics.
         self.slices_run = 0
@@ -111,6 +122,8 @@ class VCPUScheduler:
             return False
         if cpu_id in self.active:
             return False
+        if self._donation_blocked_until.get(cpu_id, 0) > self.env.now:
+            return False  # SLO guard: this CPU is protected for a while
         pcpu = self.kernel.cpus[cpu_id]
         if pcpu.runqueue.has_realtime:
             return False
@@ -175,6 +188,33 @@ class VCPUScheduler:
         self._runnable.append(vcpu)
         self._runnable_set.add(vcpu)
 
+    def reserved_since(self):
+        """Snapshot of in-flight dispatch reservations (watchdog input)."""
+        return dict(self._reserved)
+
+    def requeue_reservation(self, vcpu):
+        """Rescue a vCPU whose dispatch softirq will never run.
+
+        A reservation normally clears within one softirq latency; one that
+        ages means the donor CPU went offline (or its softirq was lost).
+        Returns True if the vCPU was re-queued for dispatch.
+        """
+        if self._reserved.pop(vcpu, None) is None:
+            return False
+        self._mark_runnable(vcpu)
+        self._dispatch_to_any_idle()
+        return True
+
+    def block_donation(self, cpu_id, until_ns):
+        """Keep ``cpu_id`` out of the donation pool until ``until_ns``."""
+        self._donation_blocked_until[cpu_id] = max(
+            self._donation_blocked_until.get(cpu_id, 0), int(until_ns))
+        self.donation_blocks += 1
+
+    def set_probe_degraded(self, degraded):
+        """Demote to software-probe-only operation (or recover from it)."""
+        self.probe_degraded = bool(degraded)
+
     def _next_runnable(self):
         """Round-robin pick of the next vCPU with pending work."""
         while self._runnable:
@@ -190,13 +230,15 @@ class VCPUScheduler:
     def _try_dispatch(self, cpu_id, vcpu=None):
         if cpu_id in self.active:
             return False
+        pcpu = self.kernel.cpus[cpu_id]
+        if not pcpu.online or pcpu.offline_pending:
+            return False  # hotplug: never raise a dispatch on a dead CPU
         if vcpu is not None and (vcpu.is_backed or vcpu in self._reserved):
             return False
         candidate = vcpu if vcpu is not None else self._next_runnable()
         if candidate is None:
             return False
-        self._reserved.add(candidate)
-        pcpu = self.kernel.cpus[cpu_id]
+        self._reserved[candidate] = self.env.now
         self.kernel.softirq.raise_softirq(
             pcpu, SoftirqVector.TAICHI_VCPU, candidate
         )
@@ -210,7 +252,7 @@ class VCPUScheduler:
             return
         if not vcpu.online or vcpu.is_backed or (
                 vcpu.runqueue.is_empty and vcpu.current is None):
-            self._reserved.discard(vcpu)
+            self._reserved.pop(vcpu, None)
             return
         service = self._services_by_cpu.get(pcpu.cpu_id)
         if service is not None:
@@ -220,16 +262,23 @@ class VCPUScheduler:
             can_lend = pcpu.cpu_id not in self.active
         if not can_lend:
             # Don't strand the candidate: put it back and look elsewhere.
-            self._reserved.discard(vcpu)
+            self._reserved.pop(vcpu, None)
             self._mark_runnable(vcpu)
             self._dispatch_to_any_idle()
             return
 
+        # Capture the probe once per slice: a mid-slice demotion must not
+        # leave the V-state set on exit (enter/exit stay paired).
+        hw_probe = None if self.probe_degraded else self.hw_probe
         slice_ns = self._slice_ns.get(vcpu, self.config.initial_slice_ns)
+        if self.probe_degraded and self.degraded_max_slice_ns:
+            # Without preempt IRQs a full adaptive slice strands packets;
+            # cap it so the poll loop gets the CPU back soon.
+            slice_ns = min(slice_ns, self.degraded_max_slice_ns)
         grant = BackingGrant(self.env, pcpu, vcpu, slice_ns)
         self.active[pcpu.cpu_id] = grant
-        if self.hw_probe is not None:
-            self.hw_probe.set_state(pcpu.cpu_id, CpuIoState.V_STATE)
+        if hw_probe is not None:
+            hw_probe.set_state(pcpu.cpu_id, CpuIoState.V_STATE)
 
         self.slices_run += 1
         tracer = self.kernel.tracer
@@ -238,15 +287,15 @@ class VCPUScheduler:
                           vcpu=vcpu.cpu_id, slice_ns=slice_ns)
         yield from pcpu.consume(costs.vmenter_ns)
         vcpu.set_backing(grant)
-        self._reserved.discard(vcpu)  # is_backed now guards re-dispatch
+        self._reserved.pop(vcpu, None)  # is_backed now guards re-dispatch
 
         ended = self.env.any_of([grant.expired, grant.revoke_request, grant.halted])
         yield from pcpu.await_event(ended, busy=False)
 
         reason = grant.resolve_end_reason()
         vcpu.revoke(reason)
-        if self.hw_probe is not None:
-            self.hw_probe.set_state(pcpu.cpu_id, CpuIoState.P_STATE)
+        if hw_probe is not None:
+            hw_probe.set_state(pcpu.cpu_id, CpuIoState.P_STATE)
         self.active.pop(pcpu.cpu_id, None)
         exit_cost = costs.vmexit_ns
         if self.config.cache_isolation:
@@ -358,4 +407,6 @@ class VCPUScheduler:
             "premature_exits": self.premature_exits,
             "window_hits": probe_exits - self.premature_exits,
             "window_misses": self.premature_exits,
+            "probe_degraded": self.probe_degraded,
+            "donation_blocks": self.donation_blocks,
         }

@@ -1,9 +1,10 @@
 """Poll-mode data-plane service (the loop of Figure 9)."""
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.hw.packet import IORequest, PacketKind
-from repro.kernel import Compute, WaitEvent
+from repro.kernel import Compute, KernelSection, WaitEvent
 from repro.kernel.runqueue import SchedClass
 
 
@@ -59,6 +60,11 @@ class DPService:
         self._shutdown = False
         self._control_event = None
 
+        # Fault injection + SLO-guard instrumentation.
+        self._pending_stall_ns = 0
+        self.stalls_injected = 0
+        self._recent_waits = deque(maxlen=256)  # rx-ready -> dp-start, ns
+
         self.thread = board.kernel.spawn(
             name, self._loop(), affinity={cpu_id},
             sched_class=SchedClass.REALTIME,
@@ -91,6 +97,39 @@ class DPService:
         self.resume_polling()
         if self._control_event is not None and not self._control_event.triggered:
             self._control_event.succeed()
+
+    def inject_stall(self, stall_ns):
+        """Fault injection: hang the poll loop in a non-preemptible routine.
+
+        The stall is consumed at the loop's next iteration (a kick wakes
+        an idle-blocked loop immediately), modeling a DP service wedged
+        inside kernel code with interrupts of no help.
+        """
+        self._pending_stall_ns += int(stall_ns)
+        self.stalls_injected += 1
+        self.resume_polling()
+        if self._control_event is not None and not self._control_event.triggered:
+            self._control_event.succeed()
+
+    def recent_queue_wait_ns(self):
+        """Recent per-packet rx-queue waits (SLO-guard breach signal)."""
+        return list(self._recent_waits)
+
+    def reset_queue_wait_window(self):
+        """Drop accumulated wait samples (after a guard intervention)."""
+        self._recent_waits.clear()
+
+    def release_queue(self, queue_id):
+        """Stop polling ``queue_id`` (its new owner adopts it next)."""
+        if queue_id not in self.queue_ids:
+            raise ValueError(f"{self.name} does not poll {queue_id!r}")
+        index = self.queue_ids.index(queue_id)
+        self.queue_ids.pop(index)
+        self.rx_stores.pop(index)
+        # Restart any in-flight idle wait so its arrival set shrinks.
+        if self._control_event is not None and not self._control_event.triggered:
+            self._control_event.succeed()
+        self.resume_polling()
 
     def adopt_queue(self, queue_id):
         """Take over polling an existing accelerator queue."""
@@ -125,11 +164,19 @@ class DPService:
     def _loop(self):
         params = self.params
         while not self._shutdown:
+            if self._pending_stall_ns:
+                stall_ns, self._pending_stall_ns = self._pending_stall_ns, 0
+                self.is_idle_blocked = False
+                yield KernelSection(stall_ns)
+                continue
             batch = self._collect_batch()
             if batch:
                 self.is_idle_blocked = False
                 for request in batch:
                     request.t_dp_start = self.env.now
+                    if request.t_rx_ready is not None:
+                        self._recent_waits.append(
+                            self.env.now - request.t_rx_ready)
                     cost = self._packet_cost(request)
                     yield Compute(cost)
                     self.processing_ns += cost
@@ -189,6 +236,8 @@ class DPService:
 
     def _arrival_event(self):
         events = [store.when_nonempty() for store in self.rx_stores]
+        if not events:
+            return self.env.event()  # queue-less service: only control wakes it
         if len(events) == 1:
             return events[0]
         return self.env.any_of(events)

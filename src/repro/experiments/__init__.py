@@ -18,6 +18,7 @@ from repro.experiments.report import ExperimentResult, format_table
 # Importing the modules registers the experiments.
 from repro.experiments import (  # noqa: F401  (import-for-side-effect)
     ablation_adaptive,
+    ext_fault_resilience,
     ext_features,
     ext_production_soak,
     ext_window_sweep,

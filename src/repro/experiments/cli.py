@@ -32,6 +32,11 @@ def main(argv=None):
                             help="verify causal invariants (IPI delivery, "
                                  "slice pairing, ...) inline during the run; "
                                  "exit 1 on any violation")
+    run_parser.add_argument("--faults", default=None, metavar="SPEC",
+                            help="inject faults into every deployment the "
+                                 "experiment builds: a preset name (storm, "
+                                 "ipi_storm, probe_outage) or a FaultPlan "
+                                 "JSON file; scaled along with --scale")
 
     analyze_parser = sub.add_parser(
         "analyze",
@@ -108,11 +113,20 @@ def main(argv=None):
         write_metrics_json,
     )
 
+    from repro.faults import active_fault_plan, load_plan
+
+    fault_plan = None
+    if args.faults:
+        fault_plan = load_plan(args.faults).scaled(args.scale)
+        print(f"fault injection: plan {fault_plan.name!r} "
+              f"({len(fault_plan.faults)} faults, scale {args.scale})")
+
     tracing = args.trace is not None or args.jsonl is not None
     targets = sorted(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
     reports = []
     with observe(trace=tracing,
-                 check_invariants=args.check_invariants) as session:
+                 check_invariants=args.check_invariants) as session, \
+            active_fault_plan(fault_plan):
         for exp_id in targets:
             started = time.time()
             result = run_experiment(exp_id, scale=args.scale, seed=args.seed)

@@ -145,6 +145,15 @@ EXPECTATIONS = {
                     lambda d: d["worst_added_qwait_uncovered_us"]
                     > d["worst_added_qwait_covered_us"]),
     ],
+    "ext_fault_resilience": [
+        Expectation("degradation improves DP p99 under the fault storm",
+                    lambda d: d["dp_p99_improvement"] > 1.0),
+        Expectation("degradation holds startup compliance at or above bare",
+                    lambda d: d["startup_compliance_gain_pct"] >= 0),
+        Expectation("faults were injected and the layer responded",
+                    lambda d: d["faults_injected"] > 0
+                    and d["degradation_responses"] > 0),
+    ],
     "ext_production_soak": [
         Expectation("Tai Chi adds no DP tail latency (p999 within 10% of "
                     "the static baseline)",
@@ -269,6 +278,44 @@ def _profile_md_lines(profile):
     return lines
 
 
+def _resilience_md_lines(outcome):
+    """Render the fault-resilience outcome as an EXPERIMENTS.md section."""
+    result = outcome["result"]
+    derived = result.derived
+    rows = {row["system"]: row for row in result.rows}
+    bare = rows.get("Tai Chi, degradation off", {})
+    hardened = rows.get("Tai Chi, degradation on", {})
+    dp_ok = derived.get("dp_p99_improvement", 0) > 1.0
+    slo_ok = derived.get("startup_compliance_gain_pct", -1) >= 0
+    verdict = ("**both SLOs held**" if dp_ok and slo_ok
+               else "**SLO regression under faults**")
+    lines = [
+        "## Resilience under fault injection",
+        "",
+        "The `ext_fault_resilience` experiment replays the default `storm`",
+        "fault preset (lossy IPIs, a dark-then-lying hardware probe, CPU",
+        "hotplug flaps, pipeline and poll-loop stalls) against the same",
+        "production-style workload twice — with the graceful-degradation",
+        "layer installed and bare.",
+        "",
+        f"- DP tail latency: p99 {bare.get('dp_p99_us', 0):.1f} us bare vs "
+        f"{hardened.get('dp_p99_us', 0):.1f} us hardened "
+        f"({derived.get('dp_p99_improvement', 0):.2f}x better with "
+        "degradation on)",
+        f"- VM-startup SLO compliance: "
+        f"{derived.get('bare_startup_compliance_pct', 0):.1f}% bare vs "
+        f"{derived.get('hardened_startup_compliance_pct', 0):.1f}% hardened "
+        f"({derived.get('startup_compliance_gain_pct', 0):+.1f} points)",
+        f"- {derived.get('faults_injected', 0)} faults injected, "
+        f"{derived.get('degradation_responses', 0)} degradation responses "
+        "(watchdog requeues, probe demotions, IPI retries, SLO-guard "
+        "interventions)",
+        f"- Verdict: {verdict}",
+        "",
+    ]
+    return lines
+
+
 def _checker_count():
     from repro.obs.invariants import DEFAULT_CHECKERS
 
@@ -315,6 +362,10 @@ def write_experiments_md(path, outcomes, scale, seed, profile=None):
                 marker = "x" if ok else " "
                 lines.append(f"- [{marker}] {description}")
             lines.append("")
+    for outcome in outcomes:
+        if outcome["id"] == "ext_fault_resilience":
+            lines.extend(_resilience_md_lines(outcome))
+            break
     if profile is not None:
         lines.extend(_profile_md_lines(profile))
     with open(path, "w") as handle:

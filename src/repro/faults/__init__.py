@@ -1,0 +1,37 @@
+"""Seeded, declarative fault injection for the Tai Chi simulation.
+
+The subsystem splits *what goes wrong* from *how it is applied*:
+
+* :class:`~repro.faults.plan.FaultPlan` / :class:`~repro.faults.plan.FaultSpec`
+  — declarative plans (JSON round-trip, named presets, time scaling);
+* :class:`~repro.faults.injector.FaultInjector` — arms a plan against a
+  live deployment through the simulation's real seams, emitting traced
+  ``fault.*`` events;
+* :func:`~repro.faults.session.active_fault_plan` — a dynamic-scope
+  activation hook so ``taichi-experiments run --faults`` perturbs any
+  experiment without threading a plan through every constructor.
+
+The graceful-degradation counterpart lives in
+:mod:`repro.core.degradation`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    PRESETS,
+    FaultPlan,
+    FaultSpec,
+    load_plan,
+)
+from repro.faults.session import active_fault_plan, current_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "PRESETS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "active_fault_plan",
+    "current_plan",
+    "load_plan",
+]

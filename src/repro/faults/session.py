@@ -1,0 +1,35 @@
+"""Module-global active fault plan (mirrors ``repro.obs.session``).
+
+Experiments build their deployments deep inside helper functions; rather
+than threading a plan through every constructor, the CLI (or a test)
+activates a plan for a dynamic scope and ``Deployment.__init__`` arms a
+:class:`~repro.faults.injector.FaultInjector` whenever one is active::
+
+    with active_fault_plan(FaultPlan.preset("storm")):
+        result = run_experiment("ext_production_soak")
+
+Nesting replaces the active plan for the inner scope (``None`` suppresses
+injection entirely), which is how ``ext_fault_resilience`` keeps control
+of its own storm even under ``run --faults``.
+"""
+
+from contextlib import contextmanager
+
+_ACTIVE_PLAN = None
+
+
+def current_plan():
+    """The fault plan deployments should arm right now, or None."""
+    return _ACTIVE_PLAN
+
+
+@contextmanager
+def active_fault_plan(plan):
+    """Make ``plan`` the active fault plan for the enclosed scope."""
+    global _ACTIVE_PLAN
+    previous = _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN = previous

@@ -37,6 +37,9 @@ class Accelerator:
         self._inflight = {}           # queue_id -> packets inside the pipeline
         self.packets_processed = 0
         self.stage_samples = []       # (preprocess_ns, transfer_ns) pairs
+        # Fault injection: no preprocessing engine may start before this
+        # horizon (a wedged pipeline); already-started work is unaffected.
+        self.stall_until_ns = 0
 
     def attach_queue(self, queue_id, store, dst_cpu_id):
         """Register a shared-memory rx queue owned by a DP service CPU."""
@@ -72,7 +75,7 @@ class Accelerator:
         # Claim the earliest-free pipeline engine.
         engine = min(range(len(self._pipeline_free_ns)),
                      key=self._pipeline_free_ns.__getitem__)
-        start = max(now, self._pipeline_free_ns[engine])
+        start = max(now, self._pipeline_free_ns[engine], self.stall_until_ns)
         self._pipeline_free_ns[engine] = start + self.params.preprocess_ns
         request.t_accel_start = start
         ready_at = start + self.params.preprocess_ns + self.params.transfer_ns

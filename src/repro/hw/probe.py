@@ -31,6 +31,11 @@ class HardwareWorkloadProbe:
         self._irq_handler = None
         self.packets_inspected = 0
         self.irqs_fired = 0
+        self.spurious_irqs = 0
+        self.suppressed_irqs = 0
+        # Fault-injection veto: ``veto(cpu_id) -> bool``; True swallows a
+        # real V-state IRQ (a false-negative misprediction).
+        self.veto = None
 
     def set_irq_handler(self, handler):
         """``handler(cpu_id)`` invoked when the probe fires a preempt IRQ."""
@@ -43,6 +48,11 @@ class HardwareWorkloadProbe:
     def get_state(self, cpu_id):
         return self._states.get(cpu_id, CpuIoState.P_STATE)
 
+    def v_state_cpus(self):
+        """CPU ids currently marked V-state (a vCPU context is running)."""
+        return [cpu_id for cpu_id, state in self._states.items()
+                if state is CpuIoState.V_STATE]
+
     def on_packet(self, dst_cpu_id):
         """Inspect destination CPU state; fire the IRQ for V-state targets."""
         self.packets_inspected += 1
@@ -50,15 +60,35 @@ class HardwareWorkloadProbe:
             return False
         if self._states.get(dst_cpu_id) is not CpuIoState.V_STATE:
             return False
+        if self.veto is not None and self.veto(dst_cpu_id):
+            self.suppressed_irqs += 1
+            return False
+        self._fire(dst_cpu_id)
+        return True
+
+    def fire_spurious(self, cpu_id):
+        """Fire a preempt IRQ with no packet behind it (false positive).
+
+        Fault injection uses this to model a misreading probe; the IRQ is
+        only meaningful — and only fired — while the CPU is in V-state.
+        """
+        if not self.enabled or self._irq_handler is None:
+            return False
+        if self._states.get(cpu_id) is not CpuIoState.V_STATE:
+            return False
+        self.spurious_irqs += 1
+        self._fire(cpu_id, spurious=True)
+        return True
+
+    def _fire(self, dst_cpu_id, spurious=False):
         self.irqs_fired += 1
         tracer = self.env.tracer
         if tracer.enabled:
             tracer.record(self.env.now, dst_cpu_id, "hwprobe_irq",
-                          latency_ns=self.irq_latency_ns)
+                          latency_ns=self.irq_latency_ns, spurious=spurious)
         handler = self._irq_handler
 
         def _deliver(_event):
             handler(dst_cpu_id)
 
         self.env.timeout(self.irq_latency_ns).callbacks.append(_deliver)
-        return True

@@ -89,6 +89,7 @@ class CPU:
         self._idle_wakeup = None
         self._slice_end = None
         self._in_softirq = False
+        self._offline_requested = False
 
         # Hook invoked whenever this CPU gains runnable work while it cannot
         # immediately run it (used by the Tai Chi vCPU scheduler).
@@ -106,19 +107,50 @@ class CPU:
     def online(self):
         return self.state not in (CpuState.OFFLINE, CpuState.BOOTING)
 
+    @property
+    def offline_pending(self):
+        """True between :meth:`request_offline` and the executor parking."""
+        return self._offline_requested
+
     def set_online(self):
         """Bring the CPU online and start its executor."""
         if self.online:
             return
         self.state = CpuState.IDLE
+        self._offline_requested = False
         self._proc = self.env.process(self._main(), name=f"cpu{self.cpu_id}")
         self.kernel.on_cpu_online(self)
+
+    def request_offline(self):
+        """Ask the executor to park at its next scheduling boundary.
+
+        Graceful hotplug removal: the running thread finishes its current
+        non-preemptible stretch, then the executor migrates stranded work
+        (via :meth:`Kernel.on_cpu_offline`) and returns.  The CPU can be
+        brought back with INIT/STARTUP boot IPIs or :meth:`set_online`.
+        """
+        if not self.online or self._offline_requested:
+            return False
+        self._offline_requested = True
+        self.kick()
+        return True
+
+    def _go_offline(self):
+        self._offline_requested = False
+        self.state = CpuState.OFFLINE
+        self.current = None
+        self._proc = None
+        self.need_resched = False
+        self.kernel.on_cpu_offline(self)
 
     def receive_boot_ipi(self, vector):
         """Handle INIT/STARTUP hotplug IPIs for an offline CPU."""
         from repro.kernel.ipi import IPIVector
 
-        if vector is IPIVector.INIT and self.state is CpuState.OFFLINE:
+        # INIT is idempotent while booting: a CPU stuck in BOOTING because
+        # its STARTUP was lost can be re-INITed by a later boot attempt.
+        if vector is IPIVector.INIT and self.state in (
+                CpuState.OFFLINE, CpuState.BOOTING):
             self.state = CpuState.BOOTING
         elif vector is IPIVector.STARTUP and self.state is CpuState.BOOTING:
             delay = self.kernel.params.cpu_boot_ns
@@ -262,6 +294,9 @@ class CPU:
 
     def _main(self):
         while True:
+            if self._offline_requested:
+                self._go_offline()
+                return
             yield from self._gate()
             if self.kernel.softirq.pending(self):
                 yield from self._run_softirqs()
@@ -505,6 +540,8 @@ class CPU:
             return True
         if thread.holds_locks or self.preempt_depth > 0:
             return False
+        if self._offline_requested:
+            return True  # hotplug removal pending: vacate the CPU
         if not thread.can_run_on(self.cpu_id):
             return True  # affinity changed under it: migrate off
         waiting = self.runqueue.peek_class()

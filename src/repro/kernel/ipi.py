@@ -25,10 +25,16 @@ class IPIController:
         self.kernel = kernel
         self.latency_ns = int(latency_ns)
         self._send_hook = None
+        self._fault_hook = None
+        self._drop_listeners = []
         self._handlers = {}
         self.sent_count = 0
         self.delivered_count = 0
         self.hooked_count = 0
+        self.dropped_offline = 0
+        self.dropped_fault = 0
+        self.delayed_fault = 0
+        self._m_dropped = kernel.env.metrics.counter("kernel.ipi.dropped")
 
     def set_send_hook(self, hook):
         """Install ``hook(src_cpu, dst_cpu, vector, payload) -> bool``.
@@ -41,6 +47,28 @@ class IPIController:
 
     def clear_send_hook(self):
         self._send_hook = None
+
+    def set_fault_hook(self, hook):
+        """Install ``hook(dst_cpu, vector, payload)`` on the delivery path.
+
+        The hook models a lossy interconnect: return ``None`` for normal
+        delivery, ``("drop",)`` to lose the IPI, or ``("delay", extra_ns)``
+        to stretch its latency.  Unlike the send hook this sees *every*
+        delivery — routed, posted, boot and device-IRQ paths included.
+        """
+        self._fault_hook = hook
+
+    def clear_fault_hook(self):
+        self._fault_hook = None
+
+    def add_drop_listener(self, listener):
+        """``listener(dst_cpu, vector, payload, latency_ns)`` on fault drops.
+
+        Offline-destination drops are *not* reported: those IPIs reached
+        a CPU that is legitimately down, and retrying them would invoke
+        handlers on a CPU the kernel believes has no executor.
+        """
+        self._drop_listeners.append(listener)
 
     def register_handler(self, vector, handler):
         """Register ``handler(cpu, payload)`` invoked on delivery."""
@@ -63,24 +91,66 @@ class IPIController:
         if not routed:
             self.deliver(dst_cpu, vector, payload, latency_ns=self.latency_ns)
 
-    def deliver(self, dst_cpu, vector, payload=None, latency_ns=None):
+    def deliver(self, dst_cpu, vector, payload=None, latency_ns=None,
+                notify_drop=True):
         """Deliver to ``dst_cpu`` after ``latency_ns`` (bypasses the hook).
 
         Also used for device IRQs (the hardware workload probe's preempt
-        interrupt arrives through this path).
+        interrupt arrives through this path).  Returns False when a fault
+        hook dropped the IPI at the source, True when it is in flight —
+        though it may still be discarded at fire time if the destination
+        went offline in the meantime.  ``notify_drop=False`` keeps a
+        fault drop out of the drop listeners (used by retry loops to
+        avoid respawning themselves).
         """
         delay = self.latency_ns if latency_ns is None else int(latency_ns)
         env = self.kernel.env
+        tracer = self.kernel.tracer
+
+        if self._fault_hook is not None:
+            verdict = self._fault_hook(dst_cpu, vector, payload)
+            if verdict is not None:
+                action = verdict[0]
+                if action == "drop":
+                    self.dropped_fault += 1
+                    self._m_dropped.inc()
+                    if tracer.enabled:
+                        tracer.record(env.now, dst_cpu.cpu_id,
+                                      "fault.ipi_drop", dst=dst_cpu.cpu_id,
+                                      vector=vector.value)
+                    if notify_drop:
+                        for listener in self._drop_listeners:
+                            listener(dst_cpu, vector, payload, delay)
+                    return False
+                if action == "delay":
+                    extra = int(verdict[1])
+                    self.delayed_fault += 1
+                    if tracer.enabled:
+                        tracer.record(env.now, dst_cpu.cpu_id,
+                                      "fault.ipi_delay", dst=dst_cpu.cpu_id,
+                                      vector=vector.value, extra_ns=extra)
+                    delay += extra
 
         def _fire(_event):
-            self.delivered_count += 1
             tracer = self.kernel.tracer
+            if (not dst_cpu.online
+                    and vector not in (IPIVector.INIT, IPIVector.STARTUP)):
+                # An offline CPU has no executor: invoking handlers here
+                # would run code on a CPU the kernel believes is down.
+                self.dropped_offline += 1
+                self._m_dropped.inc()
+                if tracer.enabled:
+                    tracer.record(env.now, dst_cpu.cpu_id, "ipi.dropped",
+                                  vector=vector.value, reason="offline")
+                return
+            self.delivered_count += 1
             if tracer.enabled:
                 tracer.record(env.now, dst_cpu.cpu_id, "ipi_deliver",
                               vector=vector.value)
             self._invoke(dst_cpu, vector, payload)
 
         env.timeout(delay).callbacks.append(_fire)
+        return True
 
     def _invoke(self, dst_cpu, vector, payload):
         handler = self._handlers.get(vector)

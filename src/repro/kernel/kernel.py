@@ -81,9 +81,46 @@ class Kernel:
         self.ipi.send(from_cpu, dst, IPIVector.INIT)
         self.ipi.send(from_cpu, dst, IPIVector.STARTUP)
 
+    def offline_cpu(self, cpu_id):
+        """Gracefully take a physical CPU offline (hotplug remove).
+
+        The executor parks at its next scheduling boundary; queued threads
+        and pending softirqs migrate to surviving CPUs.  Returns False if
+        the CPU is virtual (vCPUs go away via revocation, not hotplug) or
+        already down.
+        """
+        cpu = self.cpus[cpu_id]
+        if cpu.is_virtual:
+            return False
+        return cpu.request_offline()
+
     def on_cpu_online(self, cpu):
         if self.tracer.enabled:
             self.tracer.record(self.env.now, cpu.cpu_id, "cpu_online")
+
+    def on_cpu_offline(self, cpu):
+        """Hotplug teardown: migrate stranded work off a dead CPU.
+
+        Queued threads are re-placed through normal wake placement, and
+        pending softirqs are re-raised on the least-loaded online physical
+        CPU (the Linux ``takeover_tasklets`` analogue) — without this, a
+        TAICHI_VCPU dispatch raised just before the offline would strand
+        its reserved vCPU forever.
+        """
+        if self.tracer.enabled:
+            self.tracer.record(self.env.now, cpu.cpu_id, "cpu_offline")
+        for thread in list(cpu.runqueue.threads()):
+            if cpu.runqueue.dequeue(thread):
+                self.place_thread(thread)
+        orphans = self.softirq.drain(cpu)
+        if orphans:
+            survivors = [other for other in self.physical_cpus()
+                         if other.online and other is not cpu]
+            if survivors:
+                target = min(survivors,
+                             key=lambda c: (c.load(), str(c.cpu_id)))
+                for vector, payload in orphans:
+                    self.softirq.raise_softirq(target, vector, payload)
 
     def online_cpus(self):
         return [cpu for cpu in self.cpus.values() if cpu.online]
@@ -129,6 +166,11 @@ class Kernel:
             cpu for cpu in self.cpus.values()
             if cpu.online and thread.can_run_on(cpu.cpu_id)
         ]
+        # A CPU parking for hotplug removal is a last resort: placing there
+        # just bounces the thread back through offline migration.
+        staying = [cpu for cpu in candidates if not cpu.offline_pending]
+        if staying:
+            candidates = staying
         if not candidates:
             return None
         if preferred is not None:
@@ -136,6 +178,7 @@ class Kernel:
             if (
                 preferred_cpu is not None
                 and preferred_cpu.online
+                and not preferred_cpu.offline_pending
                 and thread.can_run_on(preferred)
                 and preferred_cpu.placement_load() == 0
             ):
@@ -252,6 +295,8 @@ class Kernel:
             "ipi_sent": self.ipi.sent_count,
             "ipi_delivered": self.ipi.delivered_count,
             "ipi_hooked": self.ipi.hooked_count,
+            "ipi_dropped_offline": self.ipi.dropped_offline,
+            "ipi_dropped_fault": self.ipi.dropped_fault,
             "softirq_raised": self.softirq.raised_count,
             "softirq_executed": self.softirq.executed_count,
             "sched_latency": self.sched_latency.summary(),

@@ -52,6 +52,15 @@ class SoftirqSubsystem:
         """True if the CPU has undelivered softirqs."""
         return bool(self._pending.get(cpu.cpu_id))
 
+    def drain(self, cpu):
+        """Remove and return all pending ``(vector, payload)`` entries.
+
+        Used by CPU hotplug teardown so deferred work raised on a dying
+        CPU can be taken over by a surviving one.
+        """
+        queue = self._pending.pop(cpu.cpu_id, None)
+        return list(queue) if queue else []
+
     def run_pending(self, cpu):
         """Generator: execute all pending softirqs on ``cpu`` in order."""
         queue = self._pending.get(cpu.cpu_id)

@@ -84,8 +84,17 @@ def analyze_events(events, dropped=0):
     ipi_pending = {}           # (dst, vector) -> deque of send ts
     ipi_latencies = []
     ipi_unmatched_delivers = 0
+    ipi_drop_credit = Counter()  # fault drops traced before their send
 
     dp_yields = Counter()      # service -> yields
+
+    faults_by_kind = Counter()
+    faults_cleared = 0
+    handled_by_mechanism = Counter()
+    ipi_fault_drops = 0
+    ipi_offline_drops = 0
+    probe_suppressed = 0
+    probe_spurious = 0
 
     for event in events:
         kind = event.kind
@@ -136,15 +145,39 @@ def analyze_events(events, dropped=0):
                     window_hits += 1
         elif kind == "ipi_send":
             key = (event.detail.get("dst"), event.detail.get("vector"))
-            ipi_pending.setdefault(key, deque()).append(event.ts_ns)
+            if ipi_drop_credit[key] > 0:
+                ipi_drop_credit[key] -= 1  # send dropped before being traced
+            else:
+                ipi_pending.setdefault(key, deque()).append(event.ts_ns)
         elif kind == "ipi_deliver":
             queue = ipi_pending.get((event.cpu_id, event.detail.get("vector")))
             if queue:
                 ipi_latencies.append(event.ts_ns - queue.popleft())
             else:
                 ipi_unmatched_delivers += 1
+        elif kind in ("fault.ipi_drop", "ipi.dropped"):
+            if kind == "fault.ipi_drop":
+                ipi_fault_drops += 1
+            else:
+                ipi_offline_drops += 1
+            key = (event.cpu_id, event.detail.get("vector"))
+            queue = ipi_pending.get(key)
+            if queue:
+                queue.popleft()
+            else:
+                ipi_drop_credit[key] += 1
         elif kind == "dp_idle_yield":
             dp_yields[event.detail.get("service")] += 1
+        elif kind == "fault.injected":
+            faults_by_kind[event.detail.get("fault_kind", "?")] += 1
+        elif kind == "fault.cleared":
+            faults_cleared += 1
+        elif kind == "fault.handled":
+            handled_by_mechanism[event.detail.get("mechanism", "?")] += 1
+        elif kind == "fault.probe_suppress":
+            probe_suppressed += 1
+        elif kind == "fault.probe_spurious":
+            probe_spurious += 1
 
     span_ns = max(last_ts - first_ts, 0)
     # Slices/stints still open at stream end occupy their CPU until then.
@@ -211,6 +244,18 @@ def analyze_events(events, dropped=0):
             "total": sum(dp_yields.values()),
             "by_service": dict(sorted(
                 dp_yields.items(), key=lambda i: str(i[0]))),
+        },
+        "faults": {
+            "injected": sum(faults_by_kind.values()),
+            "cleared": faults_cleared,
+            "by_kind": dict(sorted(faults_by_kind.items())),
+            "handled": sum(handled_by_mechanism.values()),
+            "handled_by_mechanism": dict(sorted(
+                handled_by_mechanism.items())),
+            "ipi_drops_injected": ipi_fault_drops,
+            "ipi_drops_offline": ipi_offline_drops,
+            "probe_irqs_suppressed": probe_suppressed,
+            "probe_irqs_spurious": probe_spurious,
         },
     }
 
@@ -340,6 +385,30 @@ def format_stream_report(label, report):
         rendered = ", ".join(f"{service}={count}"
                              for service, count in dp["by_service"].items())
         lines.append(f"  dp idle yields: {dp['total']} ({rendered})")
+
+    faults = report.get("faults", {})
+    if faults.get("injected") or faults.get("handled"):
+        rendered = ", ".join(f"{kind}={count}"
+                             for kind, count in faults["by_kind"].items())
+        lines.append(f"  faults: {faults['injected']} injected / "
+                     f"{faults['cleared']} cleared ({rendered})")
+        if faults["handled"]:
+            rendered = ", ".join(
+                f"{mechanism}={count}" for mechanism, count
+                in faults["handled_by_mechanism"].items())
+            lines.append(f"  degradation responses: {faults['handled']} "
+                         f"({rendered})")
+        drops = []
+        if faults["ipi_drops_injected"]:
+            drops.append(f"{faults['ipi_drops_injected']} injected")
+        if faults["ipi_drops_offline"]:
+            drops.append(f"{faults['ipi_drops_offline']} offline")
+        if drops:
+            lines.append(f"  ipi drops: {', '.join(drops)}")
+        if faults["probe_irqs_suppressed"] or faults["probe_irqs_spurious"]:
+            lines.append(
+                f"  probe faults: {faults['probe_irqs_suppressed']} IRQs "
+                f"suppressed, {faults['probe_irqs_spurious']} spurious")
     return "\n".join(lines)
 
 

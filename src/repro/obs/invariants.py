@@ -100,14 +100,39 @@ class IpiDeliveryBound(InvariantChecker):
 
     name = "ipi_delivery_bound"
 
+    _DROP_KINDS = ("fault.ipi_drop", "ipi.dropped")
+
     def __init__(self, bound_ns=1_000_000):
         self.bound_ns = int(bound_ns)
         self._pending = {}     # (dst, vector) -> deque of send events
+        self._drop_credit = {}   # (dst, vector) -> drops seen before the send
+        self._delay_grace = {}   # (dst, vector) -> injected extra latency, ns
 
     def observe(self, event):
         if event.kind == "ipi_send":
             key = (event.detail.get("dst"), event.detail.get("vector"))
+            # A fault drop recorded just before this send (the orchestrator
+            # hook runs — and may drop — before ``ipi_send`` is traced)
+            # means this send will never be delivered, legitimately.
+            if self._drop_credit.get(key, 0) > 0:
+                self._drop_credit[key] -= 1
+                return ()
             self._pending.setdefault(key, deque()).append(event)
+            return ()
+        if event.kind in self._DROP_KINDS:
+            # Injected or offline drop: forgive the oldest in-flight send.
+            key = (event.cpu_id, event.detail.get("vector"))
+            queue = self._pending.get(key)
+            if queue:
+                queue.popleft()
+            else:
+                self._drop_credit[key] = self._drop_credit.get(key, 0) + 1
+            return ()
+        if event.kind == "fault.ipi_delay":
+            key = (event.cpu_id, event.detail.get("vector"))
+            self._delay_grace[key] = (
+                self._delay_grace.get(key, 0)
+                + int(event.detail.get("extra_ns", 0)))
             return ()
         if event.kind != "ipi_deliver":
             return ()
@@ -117,6 +142,13 @@ class IpiDeliveryBound(InvariantChecker):
             return ()
         send = queue.popleft()
         dt = event.ts_ns - send.ts_ns
+        if dt > self.bound_ns:
+            # Injected delivery delays extend the bound; consume the grace.
+            grace = self._delay_grace.get(key, 0)
+            if grace > 0:
+                used = min(grace, dt - self.bound_ns)
+                self._delay_grace[key] = grace - used
+                dt -= used
         if dt > self.bound_ns:
             return [Violation(
                 self.name,
@@ -131,9 +163,10 @@ class IpiDeliveryBound(InvariantChecker):
         out = []
         for (dst, vector), queue in sorted(
                 self._pending.items(), key=lambda item: str(item[0])):
+            grace = self._delay_grace.get((dst, vector), 0)
             for send in queue:
                 overdue = last_ts_ns - send.ts_ns
-                if overdue > self.bound_ns:
+                if overdue > self.bound_ns + grace:
                     out.append(Violation(
                         self.name,
                         f"IPI {vector!r} to cpu {dst!r} sent at "
@@ -307,6 +340,61 @@ class RunQueueDepthConsistency(InvariantChecker):
         return ()
 
 
+class FaultRecoveryChecker(InvariantChecker):
+    """Every injected fault must be cleared, and clears must have causes.
+
+    The fault injector brackets each fault occurrence with
+    ``fault.injected`` / ``fault.cleared`` events sharing a ``fault`` id.
+    A clear with no matching injection is a corrupt stream; an injection
+    never cleared by stream end means the injector (or the simulation it
+    wedged) lost the revert path.
+    """
+
+    name = "fault_recovery"
+
+    def __init__(self):
+        self._open = {}        # fault id -> fault.injected event
+
+    def observe(self, event):
+        if event.kind == "fault.injected":
+            fault_id = event.detail.get("fault")
+            stale = self._open.get(fault_id)
+            self._open[fault_id] = event
+            if stale is not None:
+                return [Violation(
+                    self.name,
+                    f"fault {fault_id!r} injected twice without an "
+                    f"intervening clear",
+                    event,
+                    context=(stale,),
+                )]
+            return ()
+        if event.kind != "fault.cleared":
+            return ()
+        fault_id = event.detail.get("fault")
+        if self._open.pop(fault_id, None) is None:
+            return [Violation(
+                self.name,
+                f"fault {fault_id!r} cleared but never injected",
+                event,
+            )]
+        return ()
+
+    def finish(self, last_ts_ns):
+        out = []
+        for fault_id, event in sorted(self._open.items()):
+            until_ns = event.detail.get("until_ns")
+            if isinstance(until_ns, int) and last_ts_ns < until_ns:
+                continue  # the capture simply ended inside the window
+            out.append(Violation(
+                self.name,
+                f"fault {fault_id!r} injected at {event.ts_ns} ns was "
+                f"never cleared",
+                event,
+            ))
+        return out
+
+
 DEFAULT_CHECKERS = (
     MonotonicTimestamps,
     IpiDeliveryBound,
@@ -314,6 +402,7 @@ DEFAULT_CHECKERS = (
     SingleCpuPerThread,
     IdleYieldThreshold,
     RunQueueDepthConsistency,
+    FaultRecoveryChecker,
 )
 
 

@@ -1,0 +1,217 @@
+"""Tests for the graceful-degradation layer (repro.core.degradation)."""
+
+import pytest
+
+from repro.core import DegradationConfig, TaiChi
+from repro.dp import deploy_dp_services
+from repro.hw import SmartNIC
+from repro.kernel import Compute, IPIVector
+from repro.sim import Environment, MICROSECONDS, MILLISECONDS
+from repro.virt import VMExitReason
+
+
+def make_system(degradation_config=None, repartition=None):
+    env = Environment()
+    board = SmartNIC(env)
+    services = deploy_dp_services(board, "net")
+    taichi = TaiChi(board)
+    taichi.install()
+    for service in services:
+        taichi.attach_dp_service(service)
+    manager = taichi.enable_degradation(config=degradation_config,
+                                        repartition=repartition)
+    env.run(until=2 * MILLISECONDS)
+    return env, board, taichi, manager
+
+
+class StubService:
+    """A fake DP service that is permanently breaching its tail SLO."""
+
+    is_idle_blocked = False
+
+    def __init__(self, cpu_id, wait_ns=1 * MILLISECONDS, samples=32):
+        self.cpu_id = cpu_id
+        self.waits = [wait_ns] * samples
+        self.resets = 0
+
+    def recent_queue_wait_ns(self):
+        return list(self.waits)
+
+    def reset_queue_wait_window(self):
+        self.resets += 1
+
+
+# -- wiring --------------------------------------------------------------------
+
+
+def test_enable_degradation_wires_manager_and_stats():
+    env, board, taichi, manager = make_system()
+    assert manager.installed
+    assert taichi.degradation is manager
+    stats = taichi.stats()["degradation"]
+    assert stats["ipi_retries"] == 0
+    assert stats["probe_degraded"] is False
+
+
+def test_enable_degradation_twice_is_rejected():
+    env, board, taichi, manager = make_system()
+    with pytest.raises(RuntimeError, match="already enabled"):
+        taichi.enable_degradation()
+
+
+def test_degradation_requires_installed_framework():
+    env = Environment()
+    board = SmartNIC(env)
+    taichi = TaiChi(board)
+    with pytest.raises(RuntimeError, match="install Tai Chi"):
+        taichi.enable_degradation()
+
+
+# -- grant watchdog ------------------------------------------------------------
+
+
+def test_watchdog_requeues_stranded_reservation():
+    config = DegradationConfig(watchdog_interval_ns=100 * MICROSECONDS,
+                               reserve_timeout_ns=50 * MICROSECONDS)
+    env, board, taichi, manager = make_system(config)
+    scheduler = taichi.scheduler
+    vcpu = taichi.vcpus[0]
+    # Strand a reservation by hand: the softirq that should consume it
+    # will never run (the exact state a dead donor CPU leaves behind).
+    scheduler._reserved[vcpu] = env.now
+    env.run(until=env.now + 1 * MILLISECONDS)
+    assert manager.watchdog_requeues >= 1
+    assert vcpu not in scheduler._reserved
+
+
+def test_watchdog_force_revokes_overaged_grants():
+    config = DegradationConfig(watchdog_interval_ns=50 * MICROSECONDS,
+                               grant_timeout_ns=20 * MICROSECONDS)
+    env, board, taichi, manager = make_system(config)
+    board.kernel.spawn("cp", iter([Compute(20 * MILLISECONDS)]),
+                       affinity=set(taichi.vcpu_ids()))
+    env.run(until=env.now + 50 * MILLISECONDS)
+    assert manager.watchdog_revokes > 0
+    assert taichi.scheduler.exits_by_reason[VMExitReason.EXTERNAL] > 0
+
+
+# -- IPI retry -----------------------------------------------------------------
+
+
+def test_ipi_retry_recovers_a_transient_drop():
+    env, board, taichi, manager = make_system()
+    kernel = board.kernel
+    drops = {"left": 2}
+
+    def flaky(dst_cpu, vector, payload):
+        if drops["left"] > 0:
+            drops["left"] -= 1
+            return ("drop",)
+        return None
+
+    kernel.ipi.set_fault_hook(flaky)
+    dst = kernel.cpus[board.cp_cpu_ids[0]]
+    assert kernel.ipi.deliver(dst, IPIVector.RESCHED) is False
+    env.run(until=env.now + 2 * MILLISECONDS)
+    assert manager.ipi_retries == 2        # one dropped retry, one delivered
+    assert manager.ipi_retry_delivered == 1
+    assert manager.ipi_retry_exhausted == 0
+
+
+def test_ipi_retry_gives_up_after_bounded_attempts():
+    config = DegradationConfig(ipi_retry_limit=3,
+                               ipi_retry_backoff_ns=10 * MICROSECONDS)
+    env, board, taichi, manager = make_system(config)
+    kernel = board.kernel
+    kernel.ipi.set_fault_hook(lambda *args: ("drop",))
+    dst = kernel.cpus[board.cp_cpu_ids[0]]
+    assert kernel.ipi.deliver(dst, IPIVector.RESCHED) is False
+    env.run(until=env.now + 2 * MILLISECONDS)
+    assert manager.ipi_retries == 3
+    assert manager.ipi_retry_exhausted == 1
+    assert manager.ipi_retry_delivered == 0
+
+
+# -- SLO guard -----------------------------------------------------------------
+
+
+def test_slo_guard_blocks_donation_on_sustained_breach():
+    config = DegradationConfig(slo_interval_ns=1 * MILLISECONDS,
+                               slo_sustain=2,
+                               slo_hold_ns=10 * MILLISECONDS)
+    env, board, taichi, manager = make_system(config)
+    scheduler = taichi.scheduler
+    stub = StubService(cpu_id=100)
+    scheduler._services_by_cpu[stub.cpu_id] = stub
+    env.run(until=env.now + 5 * MILLISECONDS)
+    assert manager.slo_interventions >= 1
+    assert stub.resets >= 1
+    assert scheduler.donation_blocks >= 1
+    assert scheduler._donation_blocked_until[stub.cpu_id] > env.now
+
+
+def test_slo_guard_ignores_thin_sample_windows():
+    config = DegradationConfig(slo_interval_ns=1 * MILLISECONDS,
+                               slo_sustain=1)
+    env, board, taichi, manager = make_system(config)
+    stub = StubService(cpu_id=100, samples=4)   # < slo_min_samples
+    taichi.scheduler._services_by_cpu[stub.cpu_id] = stub
+    env.run(until=env.now + 5 * MILLISECONDS)
+    assert manager.slo_interventions == 0
+
+
+def test_slo_guard_escalates_to_repartition_once():
+    calls = []
+    config = DegradationConfig(slo_interval_ns=1 * MILLISECONDS,
+                               slo_sustain=1,
+                               slo_escalate_fraction=0.05)
+    env, board, taichi, manager = make_system(
+        config, repartition=lambda: calls.append(1))
+    stub = StubService(cpu_id=100)
+    taichi.scheduler._services_by_cpu[stub.cpu_id] = stub
+    env.run(until=env.now + 6 * MILLISECONDS)
+    assert manager.repartitions == 1
+    assert calls == [1]                    # one-shot, despite ongoing breach
+
+
+# -- probe-health monitor ------------------------------------------------------
+
+
+def test_dark_probe_is_demoted_then_promoted_after_cooldown():
+    config = DegradationConfig(probe_interval_ns=1 * MILLISECONDS,
+                               probe_cooldown_ns=2 * MILLISECONDS,
+                               probe_min_exits=2)
+    env, board, taichi, manager = make_system(config)
+    scheduler = taichi.scheduler
+    probe = board.hw_probe
+    # Traffic flows and slices expire, yet the probe fires no IRQs: dark.
+    probe.packets_inspected += 100
+    scheduler.exits_by_reason[VMExitReason.TIMESLICE_EXPIRED] += 5
+    env.run(until=env.now + int(1.5 * MILLISECONDS))
+    assert manager.probe_demotions == 1
+    assert scheduler.probe_degraded
+    assert scheduler.degraded_max_slice_ns == config.degraded_max_slice_ns
+    env.run(until=env.now + 3 * MILLISECONDS)
+    assert manager.probe_promotions == 1
+    assert not scheduler.probe_degraded
+
+
+def test_lying_probe_is_demoted_on_false_positive_rate():
+    config = DegradationConfig(probe_interval_ns=1 * MILLISECONDS,
+                               probe_cooldown_ns=20 * MILLISECONDS,
+                               probe_min_exits=2)
+    env, board, taichi, manager = make_system(config)
+    scheduler = taichi.scheduler
+    scheduler.exits_by_reason[VMExitReason.HW_PROBE_IRQ] += 4
+    scheduler.premature_exits += 4
+    env.run(until=env.now + int(1.5 * MILLISECONDS))
+    assert manager.probe_demotions == 1
+    assert scheduler.probe_degraded
+
+
+def test_healthy_probe_is_left_alone():
+    config = DegradationConfig(probe_interval_ns=1 * MILLISECONDS)
+    env, board, taichi, manager = make_system(config)
+    env.run(until=env.now + 5 * MILLISECONDS)
+    assert manager.probe_demotions == 0
+    assert not taichi.scheduler.probe_degraded

@@ -3,7 +3,7 @@
 from repro.core import TaiChi, TaiChiConfig
 from repro.dp import deploy_dp_services
 from repro.hw import IORequest, PacketKind, SmartNIC
-from repro.kernel import Compute, KernelSection, LockAcquire, LockRelease
+from repro.kernel import Compute, KernelSection, LockAcquire, LockRelease, Sleep
 from repro.sim import Environment, MICROSECONDS, MILLISECONDS, SECONDS
 from repro.virt import VMExitReason
 
@@ -114,3 +114,79 @@ def test_stats_report_exit_reasons():
     stats = taichi.scheduler.stats()
     assert stats["slices_run"] > 0
     assert "exits" in stats
+
+
+def test_lock_holder_falls_back_to_cp_partition_when_dp_is_busy():
+    """Forward progress for spinlock holders with zero idle DP CPUs.
+
+    The holder's vCPU is backed on a dedicated CP pCPU (all DP CPUs are
+    saturated with traffic), then native CP work preempts the slice while
+    the spinlock is held.  Lock-safe migration must re-back the holder on
+    another CP pCPU round-robin — not strand it behind the busy data
+    plane — so the critical section completes and waiters do not spin
+    forever.
+    """
+    env, board, taichi, services = make_system()
+    scheduler = taichi.scheduler
+    kernel = board.kernel
+    lock = kernel.spinlock("drv")
+
+    directed = []          # lock-safe re-dispatches name an explicit vcpu
+    inner_dispatch = scheduler._try_dispatch
+
+    def spying_dispatch(cpu_id, vcpu=None):
+        granted = inner_dispatch(cpu_id, vcpu=vcpu)
+        if granted and vcpu is not None:
+            directed.append(cpu_id)
+        return granted
+
+    scheduler._try_dispatch = spying_dispatch
+
+    def holder():
+        yield LockAcquire(lock)
+        yield KernelSection(25 * MILLISECONDS)
+        yield LockRelease(lock)
+
+    holder_thread = kernel.spawn("holder", holder(),
+                                 affinity={taichi.vcpu_ids()[0]})
+
+    def waiter():
+        yield Sleep(5 * MILLISECONDS)
+        yield LockAcquire(lock)
+        yield LockRelease(lock)
+
+    waiter_thread = kernel.spawn("waiter", waiter(),
+                                 affinity={taichi.vcpu_ids()[1]})
+
+    def saturate(env):
+        # Every DP queue sees continuous traffic: no DP CPU ever idles
+        # long enough to be donatable.
+        while True:
+            for queue in range(8):
+                board.accelerator.submit(IORequest(
+                    PacketKind.NET_TX, 64, ("net", queue, 0),
+                    service_ns=1_500))
+            yield env.timeout(10 * MICROSECONDS)
+
+    def cp_pressure(env):
+        # Native CP threads keep arriving, preempting donated slices on
+        # the CP partition (the only partition with idle cycles left).
+        yield env.timeout(5 * MILLISECONDS)
+        while True:
+            for cpu_id in board.cp_cpu_ids:
+                kernel.spawn(f"native-{cpu_id}-{env.now}",
+                             iter([Compute(2 * MILLISECONDS)]),
+                             affinity={cpu_id})
+            yield env.timeout(10 * MILLISECONDS)
+
+    env.process(saturate(env))
+    env.process(cp_pressure(env))
+    env.run(until=300 * MILLISECONDS)
+
+    assert holder_thread.done.triggered          # no deadlock
+    assert waiter_thread.done.triggered          # the convoy drained
+    assert scheduler.lock_safe_migrations > 0
+    # The lock-safe fallback re-backed the holder on dedicated CP pCPUs,
+    # and rotated over more than one of them (round-robin).
+    cp_targets = {cpu for cpu in directed if cpu in board.cp_cpu_ids}
+    assert len(cp_targets) > 1

@@ -1,6 +1,7 @@
 """Tests for the IPI controller and its interception hook."""
 
 from repro.kernel import IPIVector, Kernel
+from repro.obs import observe
 from repro.sim import Environment, MILLISECONDS
 
 
@@ -85,3 +86,56 @@ def test_delivery_has_latency():
     kernel.ipi.send(None, cpu, IPIVector.TAICHI_PREEMPT)
     env.run(until=1 * MILLISECONDS)
     assert at == [kernel.ipi.latency_ns]
+
+
+# -- offline destinations ------------------------------------------------------
+
+
+def test_ipi_to_offline_cpu_is_dropped_not_delivered():
+    with observe(trace=True) as session:
+        env = Environment()
+        kernel = Kernel(env)
+        kernel.add_cpu(0)
+        dead = kernel.add_cpu(1, online=False)
+        hits = []
+        kernel.ipi.register_handler(IPIVector.RESCHED,
+                                    lambda target, payload: hits.append(target))
+        kernel.ipi.send(None, dead, IPIVector.RESCHED)
+        env.run(until=1 * MILLISECONDS)
+        dropped = session.events(kind="ipi.dropped")
+    assert hits == []                      # the handler never ran
+    assert kernel.ipi.delivered_count == 0
+    assert kernel.ipi.dropped_offline == 1
+    assert env.metrics.counter("kernel.ipi.dropped").value == 1
+    assert len(dropped) == 1
+    assert dropped[0].cpu_id == 1
+    assert dropped[0].detail == {"vector": "resched", "reason": "offline"}
+
+
+def test_boot_ipis_still_reach_an_offline_cpu():
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.add_cpu(0)
+    dead = kernel.add_cpu(1, online=False)
+    kernel.boot_cpu(1)
+    env.run(until=5 * MILLISECONDS)
+    assert dead.online
+    assert kernel.ipi.dropped_offline == 0
+
+
+def test_offline_drop_does_not_notify_drop_listeners():
+    env = Environment()
+    kernel = Kernel(env)
+    cpu = kernel.add_cpu(0)
+    dead = kernel.add_cpu(1, online=False)
+    reported = []
+    kernel.ipi.add_drop_listener(
+        lambda dst, vector, payload, latency_ns: reported.append(dst.cpu_id))
+    # Offline destination: legitimately down, retrying would be wrong.
+    kernel.ipi.send(None, dead, IPIVector.RESCHED)
+    env.run(until=1 * MILLISECONDS)
+    assert reported == []
+    # Fault drop: transient interconnect loss, listeners must hear it.
+    kernel.ipi.set_fault_hook(lambda *args: ("drop",))
+    kernel.ipi.deliver(cpu, IPIVector.RESCHED)
+    assert reported == [0]

@@ -3,6 +3,7 @@
 from repro.metrics.timeline import TimelineEvent
 from repro.obs import InvariantEngine, check_events, default_checkers, observe
 from repro.obs.invariants import (
+    FaultRecoveryChecker,
     IdleYieldThreshold,
     IpiDeliveryBound,
     MonotonicTimestamps,
@@ -148,6 +149,103 @@ def test_rq_depth_zero_after_enqueue_is_flagged():
     assert len(negative) == 1
 
 
+# -- fault-aware streams -------------------------------------------------------
+
+
+def test_injected_drop_before_send_is_forgiven():
+    # The fault hook runs (and records the drop) before ``ipi_send`` is
+    # traced, so the drop legitimately precedes its own send.
+    events = [
+        ev(0, 1, "fault.ipi_drop", dst=1, vector="resched"),
+        ev(0, 0, "ipi_send", dst=1, vector="resched", routed=False),
+    ]
+    assert check_events(events, checkers=[IpiDeliveryBound()]) == []
+
+
+def test_offline_drop_after_send_is_forgiven():
+    events = [
+        ev(0, 0, "ipi_send", dst=1, vector="resched", routed=False),
+        ev(500, 1, "ipi.dropped", vector="resched", reason="offline"),
+    ]
+    assert check_events(events, checkers=[IpiDeliveryBound()]) == []
+
+
+def test_drop_credit_is_consumed_once():
+    # One drop forgives one send; a second undelivered send still flags.
+    events = [
+        ev(0, 1, "fault.ipi_drop", dst=1, vector="resched"),
+        ev(0, 0, "ipi_send", dst=1, vector="resched", routed=False),
+        ev(100, 0, "ipi_send", dst=1, vector="resched", routed=False),
+        ev(5_000_000, 1, "sched_in", thread="t0", rq=1),
+    ]
+    violations = check_events(events, checkers=[IpiDeliveryBound()])
+    assert len(violations) == 1
+    assert violations[0].event.ts_ns == 100
+
+
+def test_injected_delay_extends_the_delivery_bound():
+    events = [
+        ev(0, 0, "ipi_send", dst=1, vector="resched", routed=False),
+        ev(0, 1, "fault.ipi_delay", dst=1, vector="resched",
+           extra_ns=2_000_000),
+        ev(2_500_000, 1, "ipi_deliver", vector="resched"),
+    ]
+    assert check_events(events, checkers=[IpiDeliveryBound()]) == []
+    # Without the delay annotation the same stream is a violation.
+    undelayed = [events[0], events[2]]
+    assert len(check_events(undelayed, checkers=[IpiDeliveryBound()])) == 1
+
+
+def test_paired_fault_inject_and_clear_is_clean():
+    events = [
+        ev(0, "-", "fault.injected", fault="ipi_drop-0.0",
+           fault_kind="ipi_drop", until_ns=1_000),
+        ev(1_000, "-", "fault.cleared", fault="ipi_drop-0.0",
+           fault_kind="ipi_drop"),
+    ]
+    assert check_events(events, checkers=[FaultRecoveryChecker()]) == []
+
+
+def test_double_injection_without_clear_is_flagged():
+    events = [
+        ev(0, "-", "fault.injected", fault="f1", fault_kind="ipi_drop",
+           until_ns=1_000),
+        ev(500, "-", "fault.injected", fault="f1", fault_kind="ipi_drop",
+           until_ns=1_500),
+    ]
+    violations = check_events(events, checkers=[FaultRecoveryChecker()])
+    assert any("injected twice" in v.message for v in violations)
+
+
+def test_clear_without_injection_is_flagged():
+    events = [ev(0, "-", "fault.cleared", fault="ghost",
+                 fault_kind="ipi_drop")]
+    violations = check_events(events, checkers=[FaultRecoveryChecker()])
+    assert len(violations) == 1
+    assert "never injected" in violations[0].message
+
+
+def test_fault_never_cleared_is_flagged_after_its_window():
+    events = [
+        ev(0, "-", "fault.injected", fault="f1", fault_kind="probe_outage",
+           until_ns=1_000),
+        ev(5_000, 0, "enqueue", thread="t0"),
+    ]
+    violations = check_events(events, checkers=[FaultRecoveryChecker()])
+    assert len(violations) == 1
+    assert "never cleared" in violations[0].message
+
+
+def test_fault_open_at_capture_end_is_legal():
+    # The capture stopped inside the fault window: not a violation.
+    events = [
+        ev(0, "-", "fault.injected", fault="f1", fault_kind="probe_outage",
+           until_ns=10_000),
+        ev(5_000, 0, "enqueue", thread="t0"),
+    ]
+    assert check_events(events, checkers=[FaultRecoveryChecker()]) == []
+
+
 # -- engine plumbing -----------------------------------------------------------
 
 
@@ -176,6 +274,7 @@ def test_default_checkers_cover_catalog():
     assert {checker.name for checker in default_checkers()} == {
         "monotonic_timestamps", "ipi_delivery_bound", "slice_pair_nesting",
         "single_cpu_per_thread", "idle_yield_threshold", "runqueue_depth",
+        "fault_recovery",
     }
 
 
