@@ -1,0 +1,16 @@
+"""Benchmark regenerating the fleet scale-out extension.
+
+Runs ext_fleet_scale end to end at a reduced scale: two small fleets over
+identical node ids and seeds (all-Tai Chi with the inverse adaptation vs.
+all-static), scored on fleet-wide DP p99 and VM-startup SLO attainment.
+Tai Chi must win both.
+"""
+
+
+def test_bench_ext_fleet_scale(record):
+    result = record("ext_fleet_scale", scale=0.1)
+    assert result.derived["fleet_dp_p99_improvement"] > 1.0
+    assert (result.derived["taichi_dp_slo_pct"]
+            > result.derived["static_dp_slo_pct"])
+    assert (result.derived["taichi_startup_slo_pct"]
+            > result.derived["static_startup_slo_pct"])

@@ -1,8 +1,23 @@
 """Command-line interface for the experiment harness."""
 
 import argparse
+import json
+import os
 import sys
 import time
+
+
+def _expand_capture_paths(paths):
+    """Expand directories to their sorted ``*.jsonl`` captures."""
+    expanded = []
+    for path in paths:
+        if os.path.isdir(path):
+            expanded.extend(sorted(
+                os.path.join(path, name) for name in os.listdir(path)
+                if name.endswith(".jsonl")))
+        else:
+            expanded.append(path)
+    return expanded
 
 
 def main(argv=None):
@@ -40,9 +55,12 @@ def main(argv=None):
 
     analyze_parser = sub.add_parser(
         "analyze",
-        help="profile a JSONL trace capture (scheduling latency, switch "
+        help="profile JSONL trace captures (scheduling latency, switch "
              "costs, IPI latency) and check causal invariants")
-    analyze_parser.add_argument("path", help="JSONL capture from run --jsonl")
+    analyze_parser.add_argument(
+        "paths", nargs="+",
+        help="JSONL captures from run --jsonl / fleet --capture-dir; "
+             "directories expand to their *.jsonl files")
     analyze_parser.add_argument("--json", default=None, metavar="PATH",
                                 help="also write the full report as JSON")
     analyze_parser.add_argument("--no-invariants", action="store_true",
@@ -52,25 +70,110 @@ def main(argv=None):
         "validate", help="run all experiments and check the paper's shapes")
     validate_parser.add_argument("--scale", type=float, default=1.0)
     validate_parser.add_argument("--seed", type=int, default=0)
+    validate_parser.add_argument("--jobs", type=int, default=1,
+                                 help="experiments to run in parallel "
+                                      "(default 1: serial)")
     validate_parser.add_argument("--out", default=None,
                                  help="write an EXPERIMENTS.md-style report")
     validate_parser.add_argument("--only", default=None,
                                  help="comma-separated experiment ids")
 
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="simulate a multi-board fleet scenario across a process pool "
+             "and report fleet-wide SLOs")
+    fleet_parser.add_argument(
+        "spec", help="preset name (rack, pod) or FleetSpec JSON path")
+    fleet_parser.add_argument("--jobs", type=int, default=1,
+                              help="node simulations to run in parallel")
+    fleet_parser.add_argument("--scale", type=float, default=1.0,
+                              help="scale per-node durations and fault "
+                                   "plans (default 1.0)")
+    fleet_parser.add_argument("--seed", type=int, default=None,
+                              help="override the spec's root seed")
+    fleet_parser.add_argument("--nodes", type=int, default=None, metavar="N",
+                              help="simulate only the spec's first N nodes")
+    fleet_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="write a markdown fleet report")
+    fleet_parser.add_argument("--json", default=None, metavar="PATH",
+                              help="write the canonical (deterministic) "
+                                   "JSON report")
+    fleet_parser.add_argument("--capture-dir", default=None, metavar="DIR",
+                              help="write one JSONL trace capture per node "
+                                   "(feed the directory to 'analyze')")
+    fleet_parser.add_argument("--check-invariants", action="store_true",
+                              help="check causal invariants on every node; "
+                                   "exit 1 on any violation")
+
     args = parser.parse_args(argv)
 
     if args.command == "analyze":
         from repro.obs.analysis import (
-            analyze_capture, format_analysis, write_analysis_json,
+            analysis_to_json, analyze_capture, format_analysis,
+            write_analysis_json,
         )
 
-        analysis = analyze_capture(
-            args.path, check_invariants=not args.no_invariants)
-        print(format_analysis(analysis))
+        paths = _expand_capture_paths(args.paths)
+        if not paths:
+            print("no JSONL captures found", file=sys.stderr)
+            return 2
+        check = not args.no_invariants
+        if len(paths) == 1:
+            analysis = analyze_capture(paths[0], check_invariants=check)
+            print(format_analysis(analysis))
+            if args.json:
+                write_analysis_json(args.json, analysis)
+                print(f"wrote analysis report to {args.json}")
+            return 1 if analysis["violations"] else 0
+        analyses = {}
+        total_violations = 0
+        for path in paths:
+            label = os.path.splitext(os.path.basename(path))[0]
+            analysis = analyze_capture(path, check_invariants=check)
+            analyses[label] = analysis
+            total_violations += len(analysis["violations"])
+            print(f"==== {label} ({path}) ====")
+            print(format_analysis(analysis))
+            print()
+        print(f"combined: {len(paths)} captures, "
+              f"{total_violations} invariant violations")
         if args.json:
-            write_analysis_json(args.json, analysis)
-            print(f"wrote analysis report to {args.json}")
-        return 1 if analysis["violations"] else 0
+            payload = {label: analysis_to_json(analysis)
+                       for label, analysis in analyses.items()}
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote combined analysis report to {args.json}")
+        return 1 if total_violations else 0
+
+    if args.command == "fleet":
+        from repro.fleet import (
+            FleetRunner, format_fleet_text, load_fleet_spec,
+            write_fleet_json, write_fleet_md,
+        )
+
+        spec = load_fleet_spec(args.spec)
+        if args.seed is not None:
+            spec = spec.with_seed(args.seed)
+        if args.nodes is not None:
+            spec = spec.subset(args.nodes)
+        runner = FleetRunner(spec, jobs=args.jobs, scale=args.scale,
+                             capture_dir=args.capture_dir,
+                             check_invariants=args.check_invariants)
+        report = runner.run()
+        print(format_fleet_text(report))
+        if args.out:
+            write_fleet_md(args.out, report)
+            print(f"wrote fleet report to {args.out}")
+        if args.json:
+            write_fleet_json(args.json, report)
+            print(f"wrote canonical fleet JSON to {args.json}")
+        if args.capture_dir:
+            print(f"wrote per-node captures to {args.capture_dir}/")
+        if (args.check_invariants
+                and not report["aggregate"]["fleet"]["invariants_ok"]):
+            return 1
+        return 0
 
     # Import here so `--help` stays fast.
     from repro.experiments import EXPERIMENTS, run_experiment
@@ -82,7 +185,8 @@ def main(argv=None):
 
         exp_ids = args.only.split(",") if args.only else None
         outcomes = run_validation(scale=args.scale, seed=args.seed,
-                                  exp_ids=exp_ids, progress=print)
+                                  exp_ids=exp_ids, progress=print,
+                                  jobs=args.jobs)
         failures = [outcome["id"] for outcome in outcomes
                     if not all(ok for _, ok in outcome["checks"])]
         profile = profile_scheduling(scale=args.scale, seed=args.seed)

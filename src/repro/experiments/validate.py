@@ -9,6 +9,7 @@ into the repository's EXPERIMENTS.md.
 import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.fleet.pool import pool_imap
 from repro.obs import observe
 
 
@@ -154,6 +155,16 @@ EXPECTATIONS = {
                     lambda d: d["faults_injected"] > 0
                     and d["degradation_responses"] > 0),
     ],
+    "ext_fleet_scale": [
+        Expectation("Tai Chi beats static on fleet-wide DP p99",
+                    lambda d: d["fleet_dp_p99_improvement"] > 1.0),
+        Expectation("Tai Chi beats static on fleet DP SLO attainment",
+                    lambda d: d["taichi_dp_slo_pct"]
+                    > d["static_dp_slo_pct"]),
+        Expectation("Tai Chi beats static on VM-startup SLO attainment",
+                    lambda d: d["taichi_startup_slo_pct"]
+                    > d["static_startup_slo_pct"]),
+    ],
     "ext_production_soak": [
         Expectation("Tai Chi adds no DP tail latency (p999 within 10% of "
                     "the static baseline)",
@@ -167,41 +178,56 @@ EXPECTATIONS = {
 }
 
 
-def run_validation(scale=1.0, seed=0, exp_ids=None, progress=None):
+def _validate_one(payload):
+    """Pool worker: run one experiment and score its expectations.
+
+    Expectations are evaluated in-worker (the check lambdas don't pickle,
+    so the parent can't ship ``Expectation`` objects — only the resulting
+    ``(description, ok)`` pairs cross the process boundary).
+    """
+    exp_id, scale, seed = payload
+    started = time.time()
+    with observe() as session:
+        result = run_experiment(exp_id, scale=scale, seed=seed)
+        engine = _aggregate_engine_profile(session.metrics)
+    elapsed = time.time() - started
+    if engine is not None:
+        result.metrics.update({
+            "engine_environments": engine["environments"],
+            "engine_events": engine["events_processed"],
+            "engine_heap_peak": engine["heap_peak"],
+            "engine_events_per_wall_s": engine["events_per_wall_s"],
+        })
+    checks = [
+        (expectation.description, expectation.evaluate(result))
+        for expectation in EXPECTATIONS.get(exp_id, [])
+    ]
+    return {
+        "id": exp_id,
+        "result": result,
+        "checks": checks,
+        "elapsed_s": elapsed,
+        "engine": engine,
+    }
+
+
+def run_validation(scale=1.0, seed=0, exp_ids=None, progress=None, jobs=1):
     """Run experiments and evaluate expectations.
 
     Returns a list of dicts: {id, result, checks: [(description, ok)],
-    elapsed_s}.
+    elapsed_s}.  ``jobs > 1`` fans experiments across a process pool;
+    results (and progress lines) always stream in ``exp_ids`` order, and
+    ``jobs=1`` is the exact serial path.
     """
     exp_ids = sorted(EXPERIMENTS) if exp_ids is None else list(exp_ids)
+    payloads = [(exp_id, scale, seed) for exp_id in exp_ids]
     outcomes = []
-    for exp_id in exp_ids:
-        started = time.time()
-        with observe() as session:
-            result = run_experiment(exp_id, scale=scale, seed=seed)
-            engine = _aggregate_engine_profile(session.metrics)
-        elapsed = time.time() - started
-        if engine is not None:
-            result.metrics.update({
-                "engine_environments": engine["environments"],
-                "engine_events": engine["events_processed"],
-                "engine_heap_peak": engine["heap_peak"],
-                "engine_events_per_wall_s": engine["events_per_wall_s"],
-            })
-        checks = [
-            (expectation.description, expectation.evaluate(result))
-            for expectation in EXPECTATIONS.get(exp_id, [])
-        ]
-        outcomes.append({
-            "id": exp_id,
-            "result": result,
-            "checks": checks,
-            "elapsed_s": elapsed,
-            "engine": engine,
-        })
+    for outcome in pool_imap(_validate_one, payloads, jobs=jobs):
+        outcomes.append(outcome)
         if progress is not None:
-            status = "OK " if all(ok for _, ok in checks) else "FAIL"
-            progress(f"[{status}] {exp_id} ({elapsed:.1f}s)")
+            status = "OK " if all(ok for _, ok in outcome["checks"]) else "FAIL"
+            progress(f"[{status}] {outcome['id']} "
+                     f"({outcome['elapsed_s']:.1f}s)")
     return outcomes
 
 

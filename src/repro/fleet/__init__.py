@@ -1,0 +1,70 @@
+"""``repro.fleet`` — parallel multi-board scale-out.
+
+Every experiment elsewhere in this repo simulates exactly one SmartNIC;
+the paper's headline claim is a hyperscale *fleet* (Section 6.6: three
+years in production, no I/O SLO violations fleet-wide).  This subsystem
+closes that gap: a declarative :class:`FleetSpec` describes a rack/pod
+of boards (per-node deployment class, workload mix, traffic profile,
+optional fault plan), :class:`FleetRunner` fans the nodes out across a
+process pool, and :mod:`repro.fleet.aggregate` merges the per-node
+summaries into fleet-wide percentiles, SLO-attainment rates and
+per-deployment-class comparisons.
+
+Typical use from the CLI::
+
+    taichi-experiments fleet rack --jobs 4 --out fleet.md
+
+or programmatically::
+
+    from repro.fleet import FleetSpec, run_fleet
+
+    report = run_fleet(FleetSpec.preset("rack"), jobs=4, scale=0.25)
+    print(report["aggregate"]["fleet"]["dp_latency_us"]["p99"])
+
+See ``docs/fleet.md`` for the scenario format and determinism contract.
+"""
+
+from repro.fleet.aggregate import aggregate_fleet, aggregate_nodes, worst_nodes
+from repro.fleet.node import node_seed, run_node
+from repro.fleet.pool import pool_imap, pool_map
+from repro.fleet.report import (
+    canonical_report,
+    fleet_markdown,
+    format_fleet_text,
+    write_fleet_json,
+    write_fleet_md,
+)
+from repro.fleet.runner import FleetRunner, run_fleet
+from repro.fleet.spec import (
+    FleetSpec,
+    NodeSpec,
+    PRESETS,
+    TRAFFIC_PROFILES,
+    WorkloadMix,
+    load_fleet_spec,
+    uniform_spec,
+)
+
+__all__ = [
+    "FleetRunner",
+    "FleetSpec",
+    "NodeSpec",
+    "PRESETS",
+    "TRAFFIC_PROFILES",
+    "WorkloadMix",
+    "aggregate_fleet",
+    "aggregate_nodes",
+    "canonical_report",
+    "fleet_markdown",
+    "format_fleet_text",
+    "load_fleet_spec",
+    "node_seed",
+    "pool_imap",
+    "pool_map",
+    "run_fleet",
+    "run_node",
+    "uniform_spec",
+    "worst_nodes",
+    "write_fleet_json",
+    "write_fleet_md",
+]

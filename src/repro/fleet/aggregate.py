@@ -1,0 +1,84 @@
+"""Merge per-node summaries into fleet-wide results.
+
+The merge works on *pooled raw samples*, not on per-node percentiles:
+averaging a p99 across nodes is not the fleet p99 (the tail of the worst
+node dominates), so every node summary ships its probe samples and the
+aggregator re-summarizes the pool.  SLO attainment pools the within/total
+counts the same way, which keeps the math exact even when nodes saw very
+different sample volumes.
+
+Three views come out of one pass:
+
+* ``fleet`` — the whole rack/pod as one distribution;
+* ``classes`` — the same aggregate per deployment class (Tai Chi vs.
+  static vs. ...), the Wave-style fleet-level comparison;
+* ``worst_nodes`` — who to page: the node with the worst DP p99 and the
+  node with the worst startup-SLO attainment (ties break on node_id so
+  reports stay deterministic).
+"""
+
+from repro.fleet.node import attainment_pct
+from repro.metrics.stats import summarize
+
+_DP_QS = (50, 90, 99, 99.9)
+_STARTUP_QS = (50, 90, 99)
+
+
+def aggregate_nodes(nodes):
+    """One aggregate block over a list of node summaries."""
+    dp_pool = [value for node in nodes for value in node["dp_samples_us"]]
+    dp_within = sum(node["dp_within_slo"] for node in nodes)
+    startup_pool = [value for node in nodes
+                    for value in node["startup_samples_ms"]]
+    startup_within = sum(node["startup_within_slo"] for node in nodes)
+    startup_total = sum(node["startup_slo_total"] for node in nodes)
+    return {
+        "nodes": len(nodes),
+        "node_ids": [node["node_id"] for node in nodes],
+        "dp_latency_us": summarize(dp_pool, qs=_DP_QS),
+        "dp_slo_attainment_pct": attainment_pct(dp_within, len(dp_pool)),
+        "startup_ms": summarize(startup_pool, qs=_STARTUP_QS),
+        "startup_slo_attainment_pct": attainment_pct(startup_within,
+                                                     startup_total),
+        "vms_started": sum(node["vms_started"] for node in nodes),
+        "vms_requested": sum(node["vms_requested"] for node in nodes),
+        "faults_injected": sum(node["faults"]["injected"] for node in nodes),
+        "invariant_violations":
+            sum(node["invariants"]["violations"] for node in nodes),
+        "invariants_ok": all(node["invariants"]["ok"] for node in nodes),
+    }
+
+
+def worst_nodes(nodes):
+    """The pageable offenders: worst DP p99, worst startup attainment."""
+    with_dp = [node for node in nodes
+               if node["dp_latency_us"].get("count", 0)]
+    with_startups = [node for node in nodes if node["vms_started"]]
+    worst = {}
+    if with_dp:
+        node = max(with_dp, key=lambda n: (n["dp_latency_us"]["p99"],
+                                           n["node_id"]))
+        worst["dp_p99"] = {"node_id": node["node_id"],
+                           "value_us": node["dp_latency_us"]["p99"]}
+    if with_startups:
+        node = min(with_startups,
+                   key=lambda n: (n["startup_slo_attainment_pct"],
+                                  n["node_id"]))
+        worst["startup_attainment"] = {
+            "node_id": node["node_id"],
+            "value_pct": node["startup_slo_attainment_pct"],
+        }
+    return worst
+
+
+def aggregate_fleet(nodes):
+    """The full fleet report block: fleet + per-class + worst nodes."""
+    classes = {}
+    for node in nodes:
+        classes.setdefault(node["deployment"], []).append(node)
+    return {
+        "fleet": aggregate_nodes(nodes),
+        "classes": {name: aggregate_nodes(members)
+                    for name, members in sorted(classes.items())},
+        "worst_nodes": worst_nodes(nodes),
+    }

@@ -1,0 +1,38 @@
+"""Process-pool fan-out shared by the fleet runner and ``validate --jobs``.
+
+One helper, two properties the callers rely on:
+
+* **order**: results stream back in *input* order regardless of which
+  worker finishes first, so reports and progress output are identical at
+  any ``--jobs`` level;
+* **degradation**: ``jobs <= 1`` (or a single item) never touches
+  ``multiprocessing`` at all — it is byte-for-byte the old serial path,
+  which keeps single-job runs debuggable and CI environments without
+  usable process pools working.
+
+Workers must be module-level functions taking one picklable payload and
+returning one picklable result (the ``ProcessPoolExecutor`` contract).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def pool_imap(fn, payloads, jobs=1):
+    """Yield ``fn(payload)`` for each payload, in input order.
+
+    With ``jobs > 1`` payloads are fanned out across a process pool;
+    consumption drives the pool, so callers can print progress as each
+    in-order result lands.
+    """
+    payloads = list(payloads)
+    if jobs <= 1 or len(payloads) <= 1:
+        for payload in payloads:
+            yield fn(payload)
+        return
+    with ProcessPoolExecutor(max_workers=min(int(jobs), len(payloads))) as pool:
+        yield from pool.map(fn, payloads)
+
+
+def pool_map(fn, payloads, jobs=1):
+    """Like :func:`pool_imap` but collected into a list."""
+    return list(pool_imap(fn, payloads, jobs=jobs))

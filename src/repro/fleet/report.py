@@ -1,0 +1,132 @@
+"""Fleet report rendering: terminal text, markdown, and canonical JSON.
+
+The JSON writer strips the report's ``timing`` key — wall-clock and job
+count are operator information, not results — so the emitted file is the
+*canonical* report: a pure function of (FleetSpec, seed, scale) that the
+determinism tests compare byte for byte across ``--jobs`` levels.
+"""
+
+import json
+
+from repro.experiments.report import format_table
+
+
+def canonical_report(report):
+    """The deterministic subset of a runner report (no wall-clock)."""
+    return {key: value for key, value in report.items() if key != "timing"}
+
+
+def _node_rows(nodes):
+    rows = []
+    for node in nodes:
+        dp = node["dp_latency_us"]
+        rows.append({
+            "node": node["node_id"],
+            "class": node["deployment"],
+            "traffic": node["traffic"],
+            "dp_p50_us": dp.get("p50", 0.0),
+            "dp_p99_us": dp.get("p99", 0.0),
+            "dp_slo_pct": node["dp_slo_attainment_pct"],
+            "vms": node["vms_started"],
+            "startup_slo_pct": node["startup_slo_attainment_pct"],
+            "faults": node["faults"]["injected"],
+            "invariants": ("ok" if node["invariants"]["ok"] else
+                           f"{node['invariants']['violations']} violations")
+            if node["invariants"]["checked"] else "-",
+        })
+    return rows
+
+
+def _aggregate_lines(title, block):
+    dp = block["dp_latency_us"]
+    startup = block["startup_ms"]
+    lines = [f"-- {title} --"]
+    lines.append(
+        f"  nodes: {block['nodes']}, VMs started: {block['vms_started']}, "
+        f"faults injected: {block['faults_injected']}")
+    if dp.get("count"):
+        lines.append(
+            f"  dp latency: n={dp['count']} p50={dp['p50']:.1f}us "
+            f"p99={dp['p99']:.1f}us p99.9={dp['p99.9']:.1f}us "
+            f"max={dp['max']:.1f}us")
+    lines.append(
+        f"  dp SLO attainment: {block['dp_slo_attainment_pct']:.2f}%")
+    if startup.get("count"):
+        lines.append(
+            f"  vm startup: n={startup['count']} p50={startup['p50']:.1f}ms "
+            f"p99={startup['p99']:.1f}ms max={startup['max']:.1f}ms")
+    lines.append(
+        f"  startup SLO attainment: "
+        f"{block['startup_slo_attainment_pct']:.2f}%")
+    return lines
+
+
+def format_fleet_text(report):
+    """Render a runner report for the terminal (includes wall-clock)."""
+    spec = report["spec"]
+    aggregate = report["aggregate"]
+    timing = report.get("timing", {})
+    lines = [
+        f"== fleet {spec['name']!r}: {len(spec['nodes'])} nodes, "
+        f"seed {spec['seed']}, scale {report['scale']:g} =="
+    ]
+    if timing:
+        lines.append(
+            f"[{timing['wall_s']:.1f}s wall at --jobs {timing['jobs']}]")
+    lines.append("")
+    lines.append(format_table(_node_rows(report["nodes"])))
+    lines.append("")
+    lines.extend(_aggregate_lines("fleet-wide", aggregate["fleet"]))
+    for name, block in aggregate["classes"].items():
+        lines.extend(_aggregate_lines(f"class {name!r}", block))
+    worst = aggregate["worst_nodes"]
+    if worst:
+        lines.append("-- worst nodes --")
+        if "dp_p99" in worst:
+            lines.append(
+                f"  dp p99: {worst['dp_p99']['node_id']} "
+                f"({worst['dp_p99']['value_us']:.1f}us)")
+        if "startup_attainment" in worst:
+            lines.append(
+                f"  startup attainment: "
+                f"{worst['startup_attainment']['node_id']} "
+                f"({worst['startup_attainment']['value_pct']:.2f}%)")
+    if not aggregate["fleet"]["invariants_ok"]:
+        lines.append(
+            f"INVARIANT VIOLATIONS: "
+            f"{aggregate['fleet']['invariant_violations']}")
+    return "\n".join(lines)
+
+
+def fleet_markdown(report):
+    """Render a runner report as a standalone markdown document."""
+    spec = report["spec"]
+    lines = [
+        f"# Fleet report — {spec['name']}",
+        "",
+        f"{len(spec['nodes'])} nodes, seed {spec['seed']}, "
+        f"scale {report['scale']:g}, per-node duration "
+        f"{spec['duration_ms']:g} ms (+{spec['drain_ms']:g} ms drain), "
+        f"DP SLO {spec['dp_slo_us']:g} us.",
+        "",
+        "```",
+        format_fleet_text(report),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_fleet_md(path, report):
+    """Write the markdown report; returns the path."""
+    with open(path, "w") as handle:
+        handle.write(fleet_markdown(report))
+    return path
+
+
+def write_fleet_json(path, report):
+    """Write the canonical (timing-free, deterministic) JSON report."""
+    with open(path, "w") as handle:
+        json.dump(canonical_report(report), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,90 @@
+"""The fleet runner: fan nodes out across processes, merge the results.
+
+Each node is an independent single-board simulation, so a fleet is
+embarrassingly parallel: ``FleetRunner`` ships one picklable payload per
+node through :func:`~repro.fleet.pool.pool_map` and re-assembles the
+summaries in spec order.  Wall-clock therefore scales with available
+cores (``--jobs``) instead of fleet size — the first subsystem in this
+repo where it does.
+
+Determinism: node seeds come from :func:`~repro.sim.rng.derive_seed`
+(pure function of the fleet root seed and the node id), results are
+ordered by the spec (not by completion), and everything wall-clock lives
+under the report's ``timing`` key, which :func:`write_fleet_json`
+excludes — so the JSON report is byte-identical for ``--jobs 1`` and
+``--jobs 4``.
+"""
+
+import os
+import time
+
+from repro.fleet.aggregate import aggregate_fleet
+from repro.fleet.node import run_node
+from repro.fleet.pool import pool_map
+from repro.sim.units import MILLISECONDS
+
+#: Scaled-duration floors: a shrunk CI fleet still has to clear warmup
+#: and let a few VM storms land.
+_MIN_DURATION_NS = 30 * MILLISECONDS
+_MIN_DRAIN_NS = 20 * MILLISECONDS
+
+
+class FleetRunner:
+    """Run a :class:`~repro.fleet.spec.FleetSpec` at a given parallelism."""
+
+    def __init__(self, spec, jobs=1, scale=1.0, capture_dir=None,
+                 check_invariants=False):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.spec = spec
+        self.jobs = max(int(jobs), 1)
+        self.scale = float(scale)
+        self.capture_dir = capture_dir
+        self.check_invariants = bool(check_invariants)
+
+    def payloads(self):
+        """One picklable work unit per node, in spec order."""
+        duration_ns = max(int(self.spec.duration_ms * MILLISECONDS
+                              * self.scale), _MIN_DURATION_NS)
+        drain_ns = (max(int(self.spec.drain_ms * MILLISECONDS * self.scale),
+                        _MIN_DRAIN_NS)
+                    if self.spec.drain_ms else 0)
+        if self.capture_dir:
+            os.makedirs(self.capture_dir, exist_ok=True)
+        out = []
+        for node in self.spec.nodes:
+            capture_path = (
+                os.path.join(self.capture_dir, f"{node.node_id}.jsonl")
+                if self.capture_dir else None)
+            out.append({
+                "node": node.to_dict(),
+                "root_seed": self.spec.seed,
+                "duration_ns": duration_ns,
+                "drain_ns": drain_ns,
+                "dp_slo_us": self.spec.dp_slo_us,
+                "fault_scale": self.scale,
+                "capture_path": capture_path,
+                "check_invariants": self.check_invariants,
+            })
+        return out
+
+    def run(self):
+        """Simulate the fleet; returns the full report dict."""
+        started = time.time()
+        nodes = pool_map(run_node, self.payloads(), jobs=self.jobs)
+        wall_s = time.time() - started
+        report = {
+            "spec": self.spec.to_dict(),
+            "scale": self.scale,
+            "nodes": nodes,
+            "aggregate": aggregate_fleet(nodes),
+            "timing": {"wall_s": wall_s, "jobs": self.jobs},
+        }
+        return report
+
+
+def run_fleet(spec, jobs=1, scale=1.0, capture_dir=None,
+              check_invariants=False):
+    """One-call convenience used by the CLI and the scale-out experiment."""
+    return FleetRunner(spec, jobs=jobs, scale=scale, capture_dir=capture_dir,
+                       check_invariants=check_invariants).run()

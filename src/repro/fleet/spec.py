@@ -1,0 +1,349 @@
+"""Declarative fleet scenarios: which boards, running what, under what.
+
+A :class:`FleetSpec` describes a rack or pod of SmartNIC boards the way a
+:class:`~repro.faults.plan.FaultPlan` describes a storm: plain data that
+round-trips through JSON (``taichi-experiments fleet <spec.json>``) and
+ships with named presets (``rack``, ``pod``).  Each :class:`NodeSpec`
+picks a deployment class from :data:`repro.baselines.DEPLOYMENTS`, a
+workload mix, a traffic profile, and optionally a per-node fault plan —
+so one spec can express OSMOSIS-style mixed-tenant racks (latency-sharp
+nodes next to throughput hogs next to a node riding out a probe outage).
+
+Seeds are never stored per node: the runner derives every node's seed
+from the fleet root via :func:`repro.sim.rng.derive_seed`, which is what
+makes results byte-identical at any ``--jobs`` level.
+"""
+
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.baselines import DEPLOYMENTS
+from repro.faults.plan import FaultPlan, PRESETS as FAULT_PRESETS
+
+#: Traffic profile name -> burstiness knob of the DP background generator
+#: (duty-cycle peak-to-mean; see ``start_dp_background``).
+TRAFFIC_PROFILES = {
+    "steady": 0.2,
+    "bursty": 0.5,
+    "spiky": 0.75,
+}
+
+#: Deployment classes that carry a live TaiChi instance (and thus accept
+#: ``dp_boost`` / ``degradation``).
+_TAICHI_CLASSES = frozenset({"taichi", "taichi-no-hw-probe", "taichi-vdp"})
+
+
+@dataclass
+class WorkloadMix:
+    """Per-node load knobs: DP pressure, CP hum, and VM-creation density."""
+
+    dp_utilization: float = 0.30
+    n_monitors: int = 4
+    rolling_tasks: int = 3
+    probe_period_us: float = 400.0
+    vm_period_ms: float = 120.0
+    vm_batch_min: int = 4
+    vm_batch_max: int = 10
+    vm_vblks: int = 4
+
+    def __post_init__(self):
+        if not 0.0 < self.dp_utilization < 1.0:
+            raise ValueError(
+                f"dp_utilization must be in (0, 1), got {self.dp_utilization}")
+        if self.n_monitors < 0 or self.rolling_tasks < 0:
+            raise ValueError("n_monitors/rolling_tasks must be >= 0")
+        if self.probe_period_us <= 0:
+            raise ValueError("probe_period_us must be positive")
+        if self.vm_period_ms <= 0:
+            raise ValueError("vm_period_ms must be positive")
+        if not 0 < self.vm_batch_min <= self.vm_batch_max:
+            raise ValueError(
+                "need 0 < vm_batch_min <= vm_batch_max, got "
+                f"{self.vm_batch_min}..{self.vm_batch_max}")
+        if self.vm_vblks < 0:
+            raise ValueError("vm_vblks must be >= 0")
+
+    def to_dict(self):
+        return {
+            "dp_utilization": self.dp_utilization,
+            "n_monitors": self.n_monitors,
+            "rolling_tasks": self.rolling_tasks,
+            "probe_period_us": self.probe_period_us,
+            "vm_period_ms": self.vm_period_ms,
+            "vm_batch_min": self.vm_batch_min,
+            "vm_batch_max": self.vm_batch_max,
+            "vm_vblks": self.vm_vblks,
+        }
+
+
+@dataclass
+class NodeSpec:
+    """One SmartNIC board in the fleet.
+
+    ``faults`` is either a preset name (``"storm"``), a FaultPlan dict,
+    or a :class:`FaultPlan`; the runner scales it along with the node
+    duration.  ``dp_boost`` moves that many CP pCPUs to the data plane
+    after warmup (Section 8's inverse adaptation); ``degradation``
+    installs the graceful-degradation layer.  Both require a
+    Tai Chi-family deployment class.
+    """
+
+    node_id: str
+    deployment: str = "taichi"
+    traffic: str = "bursty"
+    workload: WorkloadMix = field(default_factory=WorkloadMix)
+    dp_boost: int = 0
+    degradation: bool = False
+    faults: object = None
+
+    def __post_init__(self):
+        if not isinstance(self.node_id, str) or not self.node_id:
+            raise ValueError("node_id must be a non-empty string")
+        if self.deployment not in DEPLOYMENTS:
+            raise ValueError(
+                f"unknown deployment class {self.deployment!r}; "
+                f"choose from {sorted(DEPLOYMENTS)}")
+        if self.traffic not in TRAFFIC_PROFILES:
+            raise ValueError(
+                f"unknown traffic profile {self.traffic!r}; "
+                f"choose from {sorted(TRAFFIC_PROFILES)}")
+        if isinstance(self.workload, dict):
+            self.workload = WorkloadMix(**self.workload)
+        self.dp_boost = int(self.dp_boost)
+        if self.dp_boost < 0:
+            raise ValueError("dp_boost must be >= 0")
+        taichi_family = self.deployment in _TAICHI_CLASSES
+        if self.dp_boost and not taichi_family:
+            raise ValueError(
+                f"dp_boost requires a Tai Chi deployment class, "
+                f"got {self.deployment!r}")
+        if self.degradation and not taichi_family:
+            raise ValueError(
+                f"degradation requires a Tai Chi deployment class, "
+                f"got {self.deployment!r}")
+        if isinstance(self.faults, str):
+            if self.faults not in FAULT_PRESETS:
+                raise ValueError(
+                    f"unknown fault preset {self.faults!r}; "
+                    f"choose from {sorted(FAULT_PRESETS)}")
+        elif isinstance(self.faults, dict):
+            self.faults = FaultPlan.from_dict(self.faults)
+        elif self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError(
+                "faults must be a preset name, a FaultPlan dict, or a "
+                f"FaultPlan, got {type(self.faults).__name__}")
+
+    def fault_plan(self):
+        """Resolve ``faults`` to a :class:`FaultPlan` (or None)."""
+        if self.faults is None:
+            return None
+        if isinstance(self.faults, str):
+            return FaultPlan.preset(self.faults)
+        return self.faults
+
+    def to_dict(self):
+        data = {
+            "node_id": self.node_id,
+            "deployment": self.deployment,
+            "traffic": self.traffic,
+            "workload": self.workload.to_dict(),
+        }
+        if self.dp_boost:
+            data["dp_boost"] = self.dp_boost
+        if self.degradation:
+            data["degradation"] = True
+        if self.faults is not None:
+            data["faults"] = (self.faults if isinstance(self.faults, str)
+                              else self.faults.to_dict())
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+@dataclass
+class FleetSpec:
+    """A whole rack/pod: nodes plus the fleet-level clock and SLO knobs.
+
+    ``duration_ms``/``drain_ms`` are per-node simulated time (the runner
+    scales both); ``dp_slo_us`` is the fleet-wide data-plane latency SLO
+    each probe sample is scored against.  The VM-startup SLO lives with
+    each node's device manager, as in the single-board experiments.
+    """
+
+    name: str
+    nodes: list
+    seed: int = 0
+    duration_ms: float = 400.0
+    drain_ms: float = 200.0
+    dp_slo_us: float = 300.0
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("fleet name must be a non-empty string")
+        self.nodes = [
+            node if isinstance(node, NodeSpec) else NodeSpec.from_dict(node)
+            for node in self.nodes
+        ]
+        if not self.nodes:
+            raise ValueError("a fleet needs at least one node")
+        seen = set()
+        for node in self.nodes:
+            if node.node_id in seen:
+                raise ValueError(f"duplicate node_id {node.node_id!r}")
+            seen.add(node.node_id)
+        self.seed = int(self.seed)
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.drain_ms < 0:
+            raise ValueError("drain_ms must be >= 0")
+        if self.dp_slo_us <= 0:
+            raise ValueError("dp_slo_us must be positive")
+
+    def with_seed(self, seed):
+        """A copy rooted at a different seed (CLI ``--seed`` override)."""
+        return replace(self, seed=int(seed), nodes=list(self.nodes))
+
+    def subset(self, n_nodes):
+        """A copy keeping only the first ``n_nodes`` (CLI ``--nodes``)."""
+        n_nodes = int(n_nodes)
+        if not 0 < n_nodes <= len(self.nodes):
+            raise ValueError(
+                f"--nodes must be in 1..{len(self.nodes)}, got {n_nodes}")
+        return replace(self, nodes=list(self.nodes[:n_nodes]))
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "duration_ms": self.duration_ms,
+            "drain_ms": self.drain_ms,
+            "dp_slo_us": self.dp_slo_us,
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+    def to_json(self, path):
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, path):
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def preset(cls, name):
+        try:
+            factory = PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown fleet preset {name!r}; "
+                f"choose from {sorted(PRESETS)}") from None
+        return factory()
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __repr__(self):
+        return f"<FleetSpec {self.name!r} nodes={len(self.nodes)}>"
+
+
+def uniform_spec(name, deployment, n_nodes, seed=0, duration_ms=400.0,
+                 drain_ms=200.0, dp_slo_us=300.0, traffic="bursty",
+                 dp_boost=0, **workload):
+    """A homogeneous fleet: every node the same class and mix.
+
+    The scale-out experiment builds two of these (all-Tai Chi vs.
+    all-static) over the *same* node ids so both arms draw identical
+    per-node seeds.
+    """
+    mix = WorkloadMix(**workload)
+    nodes = [
+        NodeSpec(node_id=f"node-{index:02d}", deployment=deployment,
+                 traffic=traffic, workload=mix, dp_boost=dp_boost)
+        for index in range(n_nodes)
+    ]
+    return FleetSpec(name=name, nodes=nodes, seed=seed,
+                     duration_ms=duration_ms, drain_ms=drain_ms,
+                     dp_slo_us=dp_slo_us)
+
+
+def _rack():
+    """8 boards, mixed tenants: the default top-of-rack scenario.
+
+    Six Tai Chi nodes spanning the traffic profiles (one boosted, one
+    riding out a probe outage behind the degradation layer) plus two
+    static-partition stragglers for per-class comparison.
+    """
+    profiles = ["steady", "bursty", "spiky"]
+    nodes = []
+    for index in range(6):
+        mix = WorkloadMix(
+            dp_utilization=(0.20, 0.30, 0.45)[index % 3],
+            vm_period_ms=(150.0, 100.0)[index % 2],
+        )
+        nodes.append(NodeSpec(
+            node_id=f"rack-{index:02d}",
+            deployment="taichi",
+            traffic=profiles[index % 3],
+            workload=mix,
+            dp_boost=2 if index == 4 else 0,
+            degradation=index == 5,
+            faults="probe_outage" if index == 5 else None,
+        ))
+    for index in range(6, 8):
+        nodes.append(NodeSpec(
+            node_id=f"rack-{index:02d}",
+            deployment="static",
+            traffic=profiles[index % 3],
+            workload=WorkloadMix(dp_utilization=0.30),
+        ))
+    return FleetSpec(name="rack", nodes=nodes)
+
+
+def _pod():
+    """64 boards: 8 racks with rack-to-rack drift, 3:1 Tai Chi:static."""
+    profiles = ["steady", "bursty", "spiky"]
+    nodes = []
+    for rack_index in range(8):
+        for slot in range(8):
+            index = rack_index * 8 + slot
+            static = slot >= 6  # two static stragglers per rack
+            mix = WorkloadMix(
+                dp_utilization=0.20 + 0.05 * (rack_index % 4),
+                vm_period_ms=90.0 + 20.0 * (slot % 3),
+                vm_batch_max=8 + 2 * (rack_index % 2),
+            )
+            nodes.append(NodeSpec(
+                node_id=f"pod-{rack_index}-{slot}",
+                deployment="static" if static else "taichi",
+                traffic=profiles[(rack_index + slot) % 3],
+                workload=mix,
+                degradation=(not static) and slot == 5,
+                faults="probe_outage" if (not static and slot == 5
+                                          and rack_index % 4 == 0) else None,
+            ))
+    return FleetSpec(name="pod", nodes=nodes)
+
+
+PRESETS = {
+    "rack": _rack,
+    "pod": _pod,
+}
+
+
+def load_fleet_spec(spec):
+    """Resolve a CLI ``fleet`` argument: preset name or JSON path."""
+    if spec in PRESETS:
+        return FleetSpec.preset(spec)
+    if spec.endswith(".json"):
+        return FleetSpec.from_json(spec)
+    raise ValueError(
+        f"fleet expects a preset ({sorted(PRESETS)}) or a .json "
+        f"FleetSpec file, got {spec!r}")

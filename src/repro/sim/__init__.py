@@ -26,7 +26,7 @@ from repro.sim.environment import Environment
 from repro.sim.errors import Interrupt, SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, derive_seed
 from repro.sim.store import Store
 from repro.sim.units import MILLISECONDS, MICROSECONDS, NANOSECONDS, SECONDS, ns_to_s, s_to_ns
 
@@ -46,6 +46,7 @@ __all__ = [
     "StopSimulation",
     "Store",
     "Timeout",
+    "derive_seed",
     "ns_to_s",
     "s_to_ns",
 ]

@@ -30,6 +30,22 @@ class RandomStreams:
         return f"<RandomStreams seed={self.seed} streams={sorted(self._streams)}>"
 
 
+def derive_seed(root_seed, *path):
+    """Derive a child seed from ``root_seed`` and a component path.
+
+    ``derive_seed(0, "node", "rack-03")`` is a pure function of its
+    arguments — stable across processes, interpreter restarts and worker
+    pools — so parallel runners can hand every shard a seed derived from
+    one root and reproduce byte-identical results at any ``--jobs`` level.
+    Components are stringified, so ints and strings mix freely.  Uses the
+    same mixing arithmetic as :meth:`RandomStreams.spawn`.
+    """
+    value = int(root_seed) % (2**63)
+    for part in path:
+        value = (value * 1_000_003 + _stable_hash(str(part))) % (2**63)
+    return value
+
+
 def _stable_hash(name):
     """A process-independent 63-bit hash (``hash()`` is salted per process)."""
     value = 1469598103934665603  # FNV-1a offset basis

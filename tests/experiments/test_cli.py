@@ -157,3 +157,69 @@ def test_run_with_faults_plan_and_analyze(tmp_path, capsys):
 def test_run_with_unknown_faults_spec_is_rejected():
     with pytest.raises(ValueError, match="--faults expects"):
         main(["run", "fig14", "--scale", "0.1", "--faults", "nonsense"])
+
+
+def test_validate_parallel_matches_serial_order(capsys):
+    assert main(["validate", "--scale", "0.1", "--jobs", "2",
+                 "--only", "fig3,fig6"]) == 0
+    out = capsys.readouterr().out
+    # Progress streams in --only order even when run on a pool.
+    assert out.index("[OK ] fig3") < out.index("[OK ] fig6")
+
+
+def test_fleet_command_end_to_end(tmp_path, capsys):
+    import json
+
+    md_path = os.path.join(tmp_path, "fleet.md")
+    json_path = os.path.join(tmp_path, "fleet.json")
+    capture_dir = os.path.join(tmp_path, "caps")
+    assert main(["fleet", "rack", "--nodes", "2", "--jobs", "2",
+                 "--scale", "0.05", "--check-invariants",
+                 "--out", md_path, "--json", json_path,
+                 "--capture-dir", capture_dir]) == 0
+    out = capsys.readouterr().out
+    assert "fleet 'rack': 2 nodes" in out
+    assert "dp SLO attainment" in out
+
+    with open(md_path) as handle:
+        assert "# Fleet report" in handle.read()
+    with open(json_path) as handle:
+        doc = json.load(handle)
+    assert "timing" not in doc  # canonical report is deterministic
+    assert doc["aggregate"]["fleet"]["invariants_ok"]
+    captures = sorted(os.listdir(capture_dir))
+    assert captures == ["rack-00.jsonl", "rack-01.jsonl"]
+
+    # The capture directory feeds straight into the analyzer.
+    analysis_path = os.path.join(tmp_path, "analysis.json")
+    assert main(["analyze", capture_dir, "--json", analysis_path]) == 0
+    out = capsys.readouterr().out
+    assert "==== rack-00" in out
+    assert "combined: 2 captures, 0 invariant violations" in out
+    with open(analysis_path) as handle:
+        combined = json.load(handle)
+    assert set(combined) == {"rack-00", "rack-01"}
+    assert not combined["rack-00"]["violations"]
+
+
+def test_fleet_custom_spec_with_overrides(tmp_path, capsys):
+    from repro.fleet import uniform_spec
+
+    spec_path = os.path.join(tmp_path, "custom.json")
+    uniform_spec("custom", "taichi", 3, duration_ms=40.0,
+                 drain_ms=20.0).to_json(spec_path)
+    assert main(["fleet", spec_path, "--nodes", "1", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet 'custom': 1 nodes, seed 5" in out
+
+
+def test_fleet_rejects_unknown_spec():
+    with pytest.raises(ValueError, match="preset"):
+        main(["fleet", "not-a-preset"])
+
+
+def test_analyze_empty_directory(tmp_path, capsys):
+    empty = os.path.join(tmp_path, "empty")
+    os.makedirs(empty)
+    assert main(["analyze", empty]) == 2
+    assert "no JSONL captures found" in capsys.readouterr().err

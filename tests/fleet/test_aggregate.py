@@ -1,0 +1,88 @@
+"""Aggregation math: fleet blocks must equal stats over the pooled samples."""
+
+from repro.fleet import aggregate_fleet, aggregate_nodes, worst_nodes
+from repro.fleet.node import attainment_pct
+from repro.metrics.stats import summarize
+
+
+def _node(node_id, deployment, dp_samples, startups, dp_slo=100.0,
+          startup_slo=250.0, overdue=0, violations=0):
+    dp_within = sum(1 for v in dp_samples if v <= dp_slo)
+    startup_within = sum(1 for v in startups if v <= startup_slo)
+    total = len(startups) + overdue
+    return {
+        "node_id": node_id,
+        "deployment": deployment,
+        "traffic": "bursty",
+        "dp_samples_us": list(dp_samples),
+        "dp_latency_us": summarize(dp_samples, qs=(50, 90, 99, 99.9)),
+        "dp_within_slo": dp_within,
+        "startup_samples_ms": sorted(startups),
+        "startup_ms": summarize(startups, qs=(50, 90, 99)),
+        "startup_within_slo": startup_within,
+        "startup_slo_total": total,
+        "startup_slo_attainment_pct": attainment_pct(startup_within, total),
+        "vms_started": len(startups),
+        "vms_requested": len(startups) + overdue,
+        "faults": {"injected": 0, "cleared": 0},
+        "invariants": {"checked": True, "violations": violations,
+                       "ok": violations == 0},
+    }
+
+
+def test_attainment_pct_vacuous_is_100():
+    assert attainment_pct(0, 0) == 100.0
+    assert attainment_pct(3, 4) == 75.0
+
+
+def test_aggregate_equals_pooled_raw_samples():
+    a = _node("a", "taichi", [10.0, 20.0, 300.0], [100.0, 200.0])
+    b = _node("b", "static", [50.0, 400.0], [300.0], overdue=2)
+    block = aggregate_nodes([a, b])
+    pooled_dp = [10.0, 20.0, 300.0, 50.0, 400.0]
+    assert block["dp_latency_us"] == summarize(pooled_dp, qs=(50, 90, 99, 99.9))
+    # 3 of 5 pooled samples within the 100us SLO.
+    assert block["dp_slo_attainment_pct"] == 100.0 * 3 / 5
+    # startups: within = 2 (a) + 0 (b); total = 2 + (1 + 2 overdue) = 5.
+    assert block["startup_slo_attainment_pct"] == 100.0 * 2 / 5
+    assert block["startup_ms"] == summarize([100.0, 200.0, 300.0],
+                                            qs=(50, 90, 99))
+    assert block["vms_started"] == 3
+    assert block["vms_requested"] == 5
+    assert block["invariants_ok"]
+
+
+def test_aggregate_is_not_mean_of_percentiles():
+    # One sharp node + one awful node: the fleet p99 must track the awful
+    # node's tail, not the average of the two p99s.
+    sharp = _node("sharp", "taichi", [10.0] * 99 + [20.0], [])
+    awful = _node("awful", "static", [10.0] * 50 + [5000.0] * 50, [])
+    block = aggregate_nodes([sharp, awful])
+    mean_of_p99s = (sharp["dp_latency_us"]["p99"]
+                    + awful["dp_latency_us"]["p99"]) / 2
+    assert block["dp_latency_us"]["p99"] > mean_of_p99s
+
+
+def test_worst_nodes_and_classes():
+    a = _node("a", "taichi", [10.0], [100.0])
+    b = _node("b", "static", [900.0], [400.0])
+    c = _node("c", "static", [20.0], [])  # no startups: not a candidate
+    report = aggregate_fleet([a, b, c])
+    assert report["worst_nodes"]["dp_p99"]["node_id"] == "b"
+    assert report["worst_nodes"]["startup_attainment"]["node_id"] == "b"
+    assert set(report["classes"]) == {"static", "taichi"}
+    assert report["classes"]["static"]["nodes"] == 2
+    assert report["fleet"]["nodes"] == 3
+
+
+def test_worst_nodes_empty_inputs():
+    empty = _node("e", "taichi", [], [])
+    assert worst_nodes([empty]) == {}
+
+
+def test_violations_roll_up():
+    good = _node("g", "taichi", [1.0], [])
+    bad = _node("x", "taichi", [1.0], [], violations=3)
+    block = aggregate_nodes([good, bad])
+    assert block["invariant_violations"] == 3
+    assert not block["invariants_ok"]

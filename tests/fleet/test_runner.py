@@ -1,0 +1,140 @@
+"""FleetRunner: determinism across --jobs, captures, floors, node scoring."""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import (
+    FleetRunner,
+    FleetSpec,
+    canonical_report,
+    fleet_markdown,
+    format_fleet_text,
+    run_node,
+    uniform_spec,
+    write_fleet_json,
+)
+from repro.fleet.node import node_seed
+from repro.sim.rng import derive_seed
+
+
+def _tiny_spec(n_nodes=2, **kwargs):
+    kwargs.setdefault("duration_ms", 40.0)
+    kwargs.setdefault("drain_ms", 20.0)
+    return uniform_spec("tiny", "taichi", n_nodes, **kwargs)
+
+
+def _canonical_json(report):
+    return json.dumps(canonical_report(report), sort_keys=True)
+
+
+def test_jobs_levels_are_byte_identical():
+    # The subsystem's core contract: same spec + seed -> the same canonical
+    # JSON report no matter how the nodes were scheduled across processes.
+    spec = FleetSpec.preset("rack").subset(3)
+    serial = FleetRunner(spec, jobs=1, scale=0.1).run()
+    parallel = FleetRunner(spec, jobs=4, scale=0.1).run()
+    assert _canonical_json(serial) == _canonical_json(parallel)
+    # timing is the one intentional difference and stays out of the JSON.
+    assert serial["timing"]["jobs"] == 1
+    assert parallel["timing"]["jobs"] == 4
+
+
+def test_node_seeds_derived_from_root():
+    spec = _tiny_spec()
+    report = FleetRunner(spec, jobs=1, scale=0.5).run()
+    for node in report["nodes"]:
+        assert node["seed"] == derive_seed(spec.seed, "fleet-node",
+                                           node["node_id"])
+    assert node_seed(0, "node-00") != node_seed(1, "node-00")
+
+
+def test_seed_changes_results():
+    spec = _tiny_spec()
+    a = FleetRunner(spec, jobs=1, scale=0.5).run()
+    b = FleetRunner(spec.with_seed(1), jobs=1, scale=0.5).run()
+    assert _canonical_json(a) != _canonical_json(b)
+
+
+def test_duration_floors():
+    spec = _tiny_spec()
+    payloads = FleetRunner(spec, jobs=1, scale=1e-6).payloads()
+    assert payloads[0]["duration_ns"] == 30_000_000
+    assert payloads[0]["drain_ns"] == 20_000_000
+
+
+def test_rejects_bad_scale():
+    with pytest.raises(ValueError, match="scale must be positive"):
+        FleetRunner(_tiny_spec(), scale=0)
+
+
+def test_capture_dir_feeds_analyzer(tmp_path):
+    from repro.obs.analysis import analyze_capture
+
+    capture_dir = os.path.join(tmp_path, "caps")
+    spec = _tiny_spec()
+    report = FleetRunner(spec, jobs=1, scale=1.0,
+                         capture_dir=capture_dir,
+                         check_invariants=True).run()
+    assert report["aggregate"]["fleet"]["invariants_ok"]
+    for node in report["nodes"]:
+        path = os.path.join(capture_dir, f"{node['node_id']}.jsonl")
+        assert node["capture_path"] == path
+        analysis = analyze_capture(path)
+        assert not analysis["violations"]
+        assert any(stream["events"]
+                   for stream in analysis["streams"].values())
+
+
+def test_faulted_node_reports_injections():
+    # rack-05 rides out a probe outage behind the degradation layer.
+    rack = FleetSpec.preset("rack")
+    node = next(n for n in rack.nodes if n.faults is not None)
+    payload = {
+        "node": node.to_dict(),
+        "root_seed": 0,
+        "duration_ns": 40_000_000,
+        "drain_ns": 20_000_000,
+        "dp_slo_us": 300.0,
+        "fault_scale": 0.1,
+    }
+    summary = run_node(payload)
+    assert summary["faults"]["injected"] > 0
+
+
+def test_summary_has_no_wall_clock():
+    summary = run_node({
+        "node": {"node_id": "n0"},
+        "root_seed": 0,
+        "duration_ns": 30_000_000,
+        "drain_ns": 20_000_000,
+        "dp_slo_us": 300.0,
+    })
+    flat = json.dumps(summary)
+    assert "wall_time" not in flat
+    assert summary["metrics"]["engine_events"] > 0
+
+
+def test_reports_render(tmp_path):
+    report = FleetRunner(_tiny_spec(), jobs=1, scale=1.0).run()
+    text = format_fleet_text(report)
+    assert "fleet-wide" in text
+    assert "node-00" in text
+    md = fleet_markdown(report)
+    assert md.startswith("# Fleet report")
+    json_path = os.path.join(tmp_path, "fleet.json")
+    write_fleet_json(json_path, report)
+    with open(json_path) as handle:
+        doc = json.load(handle)
+    assert "timing" not in doc
+    assert doc["aggregate"]["fleet"]["nodes"] == 2
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="parallel speedup needs >1 CPU")
+def test_parallel_is_faster_on_multicore():
+    spec = _tiny_spec(n_nodes=4, duration_ms=120.0, drain_ms=40.0)
+    serial = FleetRunner(spec, jobs=1).run()
+    parallel = FleetRunner(spec, jobs=4).run()
+    assert parallel["timing"]["wall_s"] < serial["timing"]["wall_s"] * 0.9
