@@ -1,0 +1,46 @@
+"""Benchmark the DES engine itself: events per second on a fixed scenario.
+
+Unlike the figure benchmarks (which time one experiment end to end), this
+one pins down raw simulator throughput on the fleet-node workload — the
+shared production-soak driver on a single Tai Chi board.  The scenario is
+fixed so the event count is deterministic; wall time is the only thing
+that varies, which makes the emitted events/sec a clean regression signal
+for engine-level changes.
+"""
+
+from repro.obs import observe
+from repro.scenario import Scenario, run_soak
+from repro.sim.units import MILLISECONDS
+
+
+def test_bench_engine_events_per_second(benchmark):
+    scenario = Scenario(arm="taichi")
+
+    def soak():
+        with observe() as session:
+            summary = run_soak(scenario, seed=0,
+                               duration_ns=60 * MILLISECONDS,
+                               drain_ns=20 * MILLISECONDS,
+                               label="bench-engine")
+        return summary, session.metrics.snapshot()
+
+    summary, snapshot = benchmark.pedantic(soak, rounds=3, iterations=1)
+
+    engines = [data for name, data in snapshot["sources"].items()
+               if name.split("#")[0] == "sim.engine"]
+    assert engines, "the simulator did not register an engine profile"
+    events = sum(engine["events_processed"] for engine in engines)
+    assert events > 0
+    assert summary["dp_sample_count"] > 0
+
+    # The event count is a pure function of the scenario; wall time is
+    # the benchmark's measurement.  Report both.
+    events_per_s = events / benchmark.stats["mean"]
+    benchmark.extra_info["scenario"] = scenario.to_dict()
+    benchmark.extra_info["events_processed"] = events
+    benchmark.extra_info["events_per_second"] = round(events_per_s)
+    benchmark.extra_info["engine_reported_events_per_wall_s"] = [
+        round(engine["events_per_wall_s"]) for engine in engines
+    ]
+    print(f"\nDES throughput: {events} events, "
+          f"{events_per_s / 1e3:.0f}k events/s")

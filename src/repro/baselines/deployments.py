@@ -197,11 +197,13 @@ DEPLOYMENTS = {
 
 
 def build_deployment(name, **kwargs):
-    """Factory: construct a deployment by registry name."""
-    try:
-        cls = DEPLOYMENTS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown deployment {name!r}; choose from {sorted(DEPLOYMENTS)}"
-        ) from None
-    return cls(**kwargs)
+    """Factory: construct a deployment by registry name.
+
+    Delegates to the arm registry (:mod:`repro.scenario.arms`), which
+    validates knobs against per-arm metadata — an unknown kwarg reports
+    the arm name and its accepted knob set instead of a bare TypeError.
+    Imported lazily: the registry wraps the classes defined above.
+    """
+    from repro.scenario.arms import build_arm
+
+    return build_arm(name, **kwargs)

@@ -10,19 +10,19 @@ The workload alternates quiet stretches with traffic bursts so both
 failure modes are exercised; CP pressure keeps the vCPUs hungry.
 """
 
-from repro.baselines import TaiChiDeployment
 from repro.core import TaiChiConfig
 from repro.experiments.common import scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
 from repro.hw.packet import IORequest, PacketKind
+from repro.scenario import build
 from repro.sim.units import MICROSECONDS, MILLISECONDS
 from repro.virt import VMExitReason
 from repro.workloads.background import start_cp_background
 
 
 def _run_config(config, duration_ns, seed):
-    deployment = TaiChiDeployment(seed=seed, taichi_config=config)
+    deployment = build("taichi", seed=seed, taichi_config=config)
     start_cp_background(deployment, n_monitors=2, rolling_tasks=6)
     deployment.warmup()
     env = deployment.env

@@ -52,6 +52,31 @@ def main(argv=None):
                                  "experiment builds: a preset name (storm, "
                                  "ipi_storm, probe_outage) or a FaultPlan "
                                  "JSON file; scaled along with --scale")
+    run_parser.add_argument("--arm", default=None, metavar="NAME[,NAME...]",
+                            help="override the scheduler arms the experiment "
+                                 "compares (registry names, e.g. "
+                                 "baseline,taichi; reference arm first)")
+
+    soak_parser = sub.add_parser(
+        "soak",
+        help="run the shared production-soak driver on one scenario "
+             "(arm name or Scenario JSON path) and print its summary")
+    soak_parser.add_argument(
+        "scenario", help="arm name (taichi, baseline, ...) or a Scenario "
+                         "JSON file")
+    soak_parser.add_argument("--scale", type=float, default=1.0,
+                             help="scale the soak duration and any fault "
+                                  "plan (default 1.0)")
+    soak_parser.add_argument("--seed", type=int, default=0)
+    soak_parser.add_argument("--duration-ms", type=float, default=400.0,
+                             help="soak window before drain (default 400)")
+    soak_parser.add_argument("--drain-ms", type=float, default=200.0,
+                             help="drain window for in-flight startups "
+                                  "(default 200)")
+    soak_parser.add_argument("--dp-slo-us", type=float, default=300.0,
+                             help="DP probe latency SLO (default 300us)")
+    soak_parser.add_argument("--json", default=None, metavar="PATH",
+                             help="also write the full summary as JSON")
 
     analyze_parser = sub.add_parser(
         "analyze",
@@ -146,6 +171,40 @@ def main(argv=None):
             print(f"wrote combined analysis report to {args.json}")
         return 1 if total_violations else 0
 
+    if args.command == "soak":
+        from repro.scenario import load_scenario, run_soak
+        from repro.sim.units import MILLISECONDS
+
+        scenario = load_scenario(args.scenario)
+        summary = run_soak(
+            scenario, seed=args.seed,
+            duration_ns=int(args.duration_ms * args.scale * MILLISECONDS),
+            drain_ns=int(args.drain_ms * MILLISECONDS),
+            dp_slo_us=args.dp_slo_us, fault_scale=args.scale)
+        print(f"scenario: arm={scenario.arm} traffic={scenario.traffic} "
+              f"faults={scenario.faults or '-'}")
+        latency = summary["dp_latency_us"]
+        print(f"dp probes: {summary['dp_sample_count']} "
+              f"(p50 {latency.get('p50', 0.0):.1f} us, "
+              f"p99 {latency.get('p99', 0.0):.1f} us, "
+              f"p99.9 {latency.get('p99.9', 0.0):.1f} us); "
+              f"SLO attainment {summary['dp_slo_attainment_pct']:.2f}% "
+              f"at {summary['dp_slo_us']:.0f} us")
+        print(f"vm startups: {summary['vms_started']}/"
+              f"{summary['vms_requested']} started; "
+              f"SLO attainment {summary['startup_slo_attainment_pct']:.2f}% "
+              f"at {summary['startup_slo_ms']:.0f} ms")
+        faults = summary["faults"]
+        if faults["injected"]:
+            print(f"faults: {faults['injected']} injected, "
+                  f"{faults['cleared']} cleared")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(summary, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote soak summary to {args.json}")
+        return 0
+
     if args.command == "fleet":
         from repro.fleet import (
             FleetRunner, format_fleet_text, load_fleet_spec,
@@ -218,6 +277,7 @@ def main(argv=None):
     )
 
     from repro.faults import active_fault_plan, load_plan
+    from repro.scenario import arm_override, parse_arm_list
 
     fault_plan = None
     if args.faults:
@@ -225,12 +285,16 @@ def main(argv=None):
         print(f"fault injection: plan {fault_plan.name!r} "
               f"({len(fault_plan.faults)} faults, scale {args.scale})")
 
+    arms = parse_arm_list(args.arm) if args.arm else None
+    if arms:
+        print(f"arm override: {', '.join(arms)}")
+
     tracing = args.trace is not None or args.jsonl is not None
     targets = sorted(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
     reports = []
     with observe(trace=tracing,
                  check_invariants=args.check_invariants) as session, \
-            active_fault_plan(fault_plan):
+            active_fault_plan(fault_plan), arm_override(arms):
         for exp_id in targets:
             started = time.time()
             result = run_experiment(exp_id, scale=args.scale, seed=args.seed)

@@ -1,5 +1,8 @@
 """Shared helpers for experiment modules."""
 
+# Canonical implementations live in repro.metrics.stats; re-exported here
+# because every experiment module historically imports them from common.
+from repro.metrics.stats import overhead_pct, ratio  # noqa: F401
 from repro.sim.units import MILLISECONDS
 
 
@@ -11,17 +14,3 @@ def scaled_duration(base_ns, scale, floor_ns=5 * MILLISECONDS):
 def scaled_count(base, scale, floor=1):
     """Scale an iteration/client count, never below ``floor``."""
     return max(int(round(base * scale)), floor)
-
-
-def ratio(numerator, denominator):
-    """Safe ratio for derived metrics."""
-    if not denominator:
-        return float("inf") if numerator else 0.0
-    return numerator / denominator
-
-
-def overhead_pct(system_value, baseline_value):
-    """Percent throughput loss of ``system_value`` vs ``baseline_value``."""
-    if not baseline_value:
-        return 0.0
-    return (1.0 - system_value / baseline_value) * 100.0

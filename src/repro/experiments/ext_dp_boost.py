@@ -6,42 +6,46 @@ of the CP partition's physical CPUs to DP services (here 4 -> 2 CP CPUs,
 CP performance stays at baseline by harvesting idle DP cycles.
 """
 
-from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
-from repro.core import DynamicRepartitioner
 from repro.experiments.common import ratio, scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
+from repro.scenario import arms_under_test, build
 from repro.sim.units import MILLISECONDS
 from repro.workloads import run_fio, run_sockperf_tcp, run_synth_cp
 
+#: Reference arm first; the measured arm gets the Section 8 dp_boost=2
+#: repartition (``run --arm`` overrides; the boost needs a Tai Chi arm).
+DEFAULT_ARMS = ("baseline", "taichi")
 
-def _boosted_deployment(seed, dp_kind="net"):
-    """A Tai Chi deployment after live cp->dp repartitioning (50% of CP)."""
-    deployment = TaiChiDeployment(seed=seed, dp_kind=dp_kind)
+
+def _baseline(arm, seed, dp_kind="net"):
+    deployment = build(arm, seed=seed, dp_kind=dp_kind)
     deployment.warmup()
-    DynamicRepartitioner(deployment).cp_to_dp(2)
     return deployment
+
+
+def _boosted(arm, seed, dp_kind="net"):
+    """The measured arm after live cp->dp repartitioning (50% of CP)."""
+    return build(arm, seed=seed, dp_kind=dp_kind, dp_boost=2)
 
 
 @register("ext_dp_boost", "Reallocating CP CPUs to DP (Section 8)",
           "Section 8, 'Enhanced data-plane performance'")
 def run(scale=1.0, seed=0):
+    arms = arms_under_test(DEFAULT_ARMS)
+    ref, boosted = arms[0], arms[-1]
     duration = scaled_duration(50 * MILLISECONDS, scale)
 
-    base_storage = StaticPartitionDeployment(seed=seed, dp_kind="storage")
-    base_storage.warmup()
-    base_iops = run_fio(base_storage, duration)["iops"]
-    boost_iops = run_fio(_boosted_deployment(seed, "storage"), duration)["iops"]
+    base_iops = run_fio(_baseline(ref, seed, "storage"), duration)["iops"]
+    boost_iops = run_fio(_boosted(boosted, seed, "storage"), duration)["iops"]
 
-    base_net = StaticPartitionDeployment(seed=seed)
-    base_net.warmup()
-    base_cps = run_sockperf_tcp(base_net, duration)["cps"]
-    boost_cps = run_sockperf_tcp(_boosted_deployment(seed), duration)["cps"]
+    base_cps = run_sockperf_tcp(_baseline(ref, seed), duration)["cps"]
+    boost_cps = run_sockperf_tcp(_boosted(boosted, seed), duration)["cps"]
 
     # CP sanity: with only 2 dedicated CP CPUs plus harvested DP cycles,
     # CP execution should stay near the 4-CPU static baseline.
-    cp_base = run_synth_cp(StaticPartitionDeployment(seed=seed), 8, rounds=1)
-    cp_boost = run_synth_cp(_boosted_deployment(seed), 8, rounds=1)
+    cp_base = run_synth_cp(build(ref, seed=seed), 8, rounds=1)
+    cp_boost = run_synth_cp(_boosted(boosted, seed), 8, rounds=1)
 
     rows = [
         {"metric": "fio peak IOPS", "baseline_8dp": base_iops,

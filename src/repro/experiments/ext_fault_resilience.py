@@ -16,7 +16,6 @@ Both arms see the *identical* fault schedule: same plan, same seeds,
 same draw streams.
 """
 
-from repro.baselines import TaiChiDeployment
 from repro.experiments.common import scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
@@ -24,6 +23,7 @@ from repro.faults import FaultPlan, active_fault_plan
 from repro.hw.host import HostNode, VMSpec
 from repro.hw.packet import IORequest, PacketKind
 from repro.metrics import LatencyRecorder
+from repro.scenario import build
 from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
 from repro.workloads.background import start_cp_background, start_dp_background
 
@@ -35,7 +35,7 @@ _STORM_SPAN_NS = 1_200 * MILLISECONDS
 
 def _resilient_run(duration_ns, seed, plan, degradation_on):
     with active_fault_plan(plan):
-        deployment = TaiChiDeployment(seed=seed)
+        deployment = build("taichi", seed=seed)
     if degradation_on:
         deployment.taichi.enable_degradation()
     start_dp_background(deployment, utilization=0.25)

@@ -12,13 +12,13 @@
   overhead with pollution vs isolation.
 """
 
-from repro.baselines import TaiChiDeployment
 from repro.core import InstructionAuditor, PreemptibleKernelContext, TaiChiConfig
 from repro.experiments.common import scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
 from repro.hw.packet import IORequest, PacketKind
 from repro.kernel import Compute, Kernel, KernelSection, SchedClass, Sleep, Syscall
+from repro.scenario import build
 from repro.sim import Environment, MICROSECONDS, MILLISECONDS, SECONDS
 from repro.virt import VMExitReason
 from repro.workloads import run_sockperf_udp
@@ -60,7 +60,7 @@ def run_preemptible(scale=1.0, seed=0):
     env.run(until=(count + 5) * 3 * MILLISECONDS)
 
     # The hog wrapped in a vCPU context on a Tai Chi board.
-    deployment = TaiChiDeployment(seed=seed)
+    deployment = build("taichi", seed=seed)
     deployment.warmup()
     context = PreemptibleKernelContext(deployment.taichi)
     context.submit("hog", _kernel_hog(10_000, section_ns))
@@ -94,7 +94,7 @@ def run_preemptible(scale=1.0, seed=0):
 @register("ext_audit", "On-demand instruction-level auditing", "Section 8")
 def run_audit(scale=1.0, seed=0):
     cycles = max(int(60 * scale), 10)
-    deployment = TaiChiDeployment(seed=seed)
+    deployment = build("taichi", seed=seed)
     deployment.warmup()
     env = deployment.env
     auditor = InstructionAuditor(deployment.taichi,
@@ -145,7 +145,7 @@ def run_audit(scale=1.0, seed=0):
 
 
 def _premature_exit_rate(config, duration_ns, seed):
-    deployment = TaiChiDeployment(seed=seed, taichi_config=config)
+    deployment = build("taichi", seed=seed, taichi_config=config)
     start_cp_background(deployment, n_monitors=2, rolling_tasks=6)
     deployment.warmup()
     env = deployment.env
@@ -218,7 +218,7 @@ def run_isolation(scale=1.0, seed=0):
     duration = scaled_duration(150 * MILLISECONDS, scale)
 
     def measure(config):
-        deployment = TaiChiDeployment(seed=seed, taichi_config=config)
+        deployment = build("taichi", seed=seed, taichi_config=config)
         start_cp_background(deployment, n_monitors=4, rolling_tasks=6)
         deployment.warmup()
         # Sparse traffic: nearly every packet lands right after a vCPU

@@ -10,69 +10,44 @@ standing monitoring fleet — and scores both SLOs simultaneously:
   baseline under identical load ("no I/O SLO violations were reported");
 * CP SLO: fraction of VM startups within the startup SLO, plus the
   average startup speedup.
+
+The simulation itself is :func:`repro.scenario.soak.run_soak` — the same
+driver the fleet runner uses per node — so this experiment is one
+:class:`~repro.scenario.Scenario` per arm plus scoring.
 """
 
-from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
-from repro.experiments.common import scaled_duration
+from repro.experiments.common import ratio, scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
-from repro.hw.host import HostNode, VMSpec
-from repro.hw.packet import IORequest, PacketKind
-from repro.metrics import LatencyRecorder
-from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
-from repro.workloads.background import start_cp_background, start_dp_background
+from repro.scenario import Scenario, WorkloadMix, arms_under_test, run_soak
+from repro.sim.units import MILLISECONDS, SECONDS
+
+#: Reference arm first, measured arm last (``run --arm`` overrides).
+DEFAULT_ARMS = ("baseline", "taichi")
+
+_LABELS = {"baseline": "static partition", "static": "static partition",
+           "taichi": "Tai Chi"}
+
+#: The compressed production mix: moderate DP load with the monitoring
+#: fleet humming, and VM-creation storms every ~150 ms.
+PRODUCTION_MIX = WorkloadMix(dp_utilization=0.25, n_monitors=6,
+                             rolling_tasks=3, probe_period_us=400.0,
+                             vm_period_ms=150.0, vm_batch_min=4,
+                             vm_batch_max=9, vm_vblks=4)
 
 
-def _soak(deployment_cls, duration_ns, seed):
-    deployment = deployment_cls(seed=seed)
-    start_dp_background(deployment, utilization=0.25)
-    start_cp_background(deployment, n_monitors=6, rolling_tasks=3)
-    deployment.warmup()
-    env = deployment.env
-    board = deployment.board
-    host = HostNode(deployment)
-
-    probe_latency = LatencyRecorder(name="tenant-probe")
-
-    def latency_probe():
-        rng = deployment.rng.stream("soak-probe")
-        while True:
-            queue = int(rng.integers(0, 8))
-            done = env.event()
-            done.callbacks.append(
-                lambda event: probe_latency.record(
-                    event.value.total_latency_ns))
-            board.accelerator.submit(IORequest(
-                PacketKind.NET_TX, 64, ("net", queue, 0),
-                service_ns=1_500, done=done))
-            yield env.timeout(int(rng.exponential(400 * MICROSECONDS)))
-
-    env.process(latency_probe(), name="latency-probe")
-
-    def storm_source():
-        rng = deployment.rng.stream("soak-storms")
-        while True:
-            yield env.timeout(int(rng.exponential(150 * MILLISECONDS)))
-            for _ in range(int(rng.integers(4, 10))):
-                host.create_vm(VMSpec())
-
-    env.process(storm_source(), name="storm-source")
-    deployment.run(env.now + duration_ns)
-    # Drain: give in-flight startups a grace window.
-    deployment.run(env.now + 500 * MILLISECONDS)
-
-    startups = [vm.startup_time_ns() for vm in host.vms
-                if vm.startup_time_ns() is not None]
-    slo_ns = host.manager.params.startup_slo_ns
-    within = sum(1 for value in startups if value <= slo_ns)
+def _soak(arm, duration_ns, seed):
+    scenario = Scenario(arm=arm, traffic="bursty", workload=PRODUCTION_MIX)
+    summary = run_soak(scenario, seed=seed, duration_ns=duration_ns,
+                       drain_ns=500 * MILLISECONDS, label="prod-soak")
+    latency = summary["dp_latency_us"]
+    startup = summary["startup_ms"]
     return {
-        "dp_p99_us": probe_latency.p99() / MICROSECONDS,
-        "dp_p999_us": probe_latency.p999() / MICROSECONDS,
-        "vms_started": len(startups),
-        "startup_slo_compliance_pct":
-            100.0 * within / max(len(startups), 1),
-        "avg_startup_ms": (sum(startups) / max(len(startups), 1))
-        / MILLISECONDS,
+        "dp_p99_us": latency.get("p99", 0.0),
+        "dp_p999_us": latency.get("p99.9", 0.0),
+        "vms_started": summary["vms_started"],
+        "startup_slo_compliance_pct": summary["startup_slo_attainment_pct"],
+        "avg_startup_ms": startup.get("mean", 0.0),
     }
 
 
@@ -81,11 +56,12 @@ def _soak(deployment_cls, duration_ns, seed):
 def run(scale=1.0, seed=0):
     duration = scaled_duration(2 * SECONDS, scale,
                                floor_ns=400 * MILLISECONDS)
-    static = _soak(StaticPartitionDeployment, duration, seed)
-    taichi = _soak(TaiChiDeployment, duration, seed)
+    arms = arms_under_test(DEFAULT_ARMS)
+    static = _soak(arms[0], duration, seed)
+    taichi = _soak(arms[-1], duration, seed)
     rows = [
-        {"system": "static partition", **static},
-        {"system": "Tai Chi", **taichi},
+        {"system": _LABELS.get(arms[0], arms[0]), **static},
+        {"system": _LABELS.get(arms[-1], arms[-1]), **taichi},
     ]
     return ExperimentResult(
         exp_id="ext_production_soak",
@@ -97,13 +73,13 @@ def run(scale=1.0, seed=0):
             # the operative check is that Tai Chi adds no tail latency over
             # whatever the static baseline delivers under the same load.
             "dp_p999_vs_baseline":
-                taichi["dp_p999_us"] / max(static["dp_p999_us"], 1e-9),
+                ratio(taichi["dp_p999_us"], static["dp_p999_us"]),
             "taichi_startup_compliance_pct":
                 taichi["startup_slo_compliance_pct"],
             "static_startup_compliance_pct":
                 static["startup_slo_compliance_pct"],
             "startup_speedup":
-                static["avg_startup_ms"] / max(taichi["avg_startup_ms"], 1e-9),
+                ratio(static["avg_startup_ms"], taichi["avg_startup_ms"]),
         },
         paper={
             "claim": (

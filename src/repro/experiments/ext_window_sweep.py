@@ -12,12 +12,12 @@ This is the kind of figure a port to a different SmartNIC (slower
 accelerator, faster cores) would need before deployment.
 """
 
-from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
 from repro.core import TaiChiConfig
 from repro.experiments.common import scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
 from repro.hw import AcceleratorParams, BoardConfig
+from repro.scenario import arms_under_test, build, get_arm
 from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
 from repro.workloads import run_ping
 from repro.workloads.background import start_cp_background
@@ -26,17 +26,20 @@ from repro.workloads.background import start_cp_background
 PREPROCESS_NS = (500, 1_000, 1_500, 2_700, 4_000)
 TRANSFER_NS = 500
 
+#: Reference arm and the swept arm (``run --arm`` overrides).
+DEFAULT_ARMS = ("baseline", "taichi")
 
-def _measure(deployment_cls, preprocess_ns, duration_ns, seed, config=None):
+
+def _measure(arm, preprocess_ns, duration_ns, seed, config=None):
     board_config = BoardConfig(
         accelerator=AcceleratorParams(preprocess_ns=preprocess_ns,
                                       transfer_ns=TRANSFER_NS),
     )
     kwargs = {}
-    if issubclass(deployment_cls, TaiChiDeployment) and config is not None:
+    if get_arm(arm).taichi_family and config is not None:
         kwargs["taichi_config"] = config
-    deployment = deployment_cls(seed=seed, board_config=board_config,
-                                **kwargs)
+    deployment = build(arm, seed=seed, board_config=board_config,
+                       **kwargs)
     # Saturating CP pressure keeps the pinged CPU in a vCPU slice whenever
     # a probe arrives, so every ping exercises the revoke path.
     start_cp_background(deployment, n_monitors=4, rolling_tasks=10)
@@ -55,12 +58,12 @@ def run(scale=1.0, seed=0):
     # the configurations we want to measure.
     config = TaiChiConfig(adaptive_threshold=False)
     switch_us = config.costs.switch_total_ns / MICROSECONDS
+    arms = arms_under_test(DEFAULT_ARMS)
     rows = []
     for preprocess_ns in PREPROCESS_NS:
         window_ns = preprocess_ns + TRANSFER_NS
-        baseline = _measure(StaticPartitionDeployment, preprocess_ns,
-                            duration, seed)
-        taichi = _measure(TaiChiDeployment, preprocess_ns, duration, seed,
+        baseline = _measure(arms[0], preprocess_ns, duration, seed)
+        taichi = _measure(arms[-1], preprocess_ns, duration, seed,
                           config=config)
         rows.append({
             "window_us": window_ns / MICROSECONDS,

@@ -5,18 +5,21 @@ tasks with the data plane held at the production-p99 30 % utilization and
 the standing CP background running, as on a production node.
 """
 
-from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
 from repro.experiments.common import ratio, scaled_count
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
+from repro.scenario import arms_under_test, build
 from repro.workloads import run_synth_cp
 from repro.workloads.background import start_cp_background
 
 CONCURRENCIES = (1, 4, 8, 16, 32)
 
+#: Reference arm first; ``run --arm`` swaps in any registry arms.
+DEFAULT_ARMS = ("baseline", "taichi")
 
-def run_point(deployment_cls, concurrency, rounds, seed):
-    deployment = deployment_cls(seed=seed)
+
+def run_point(arm, concurrency, rounds, seed):
+    deployment = build(arm, seed=seed)
     start_cp_background(deployment, n_monitors=4, rolling_tasks=4)
     result = run_synth_cp(deployment, concurrency, rounds=rounds,
                           dp_utilization=0.30)
@@ -25,18 +28,17 @@ def run_point(deployment_cls, concurrency, rounds, seed):
 
 @register("fig11", "CP execution time vs concurrency", "Figure 11")
 def run(scale=1.0, seed=0):
+    arms = arms_under_test(DEFAULT_ARMS)
     rounds = scaled_count(3, scale, floor=1)
     rows = []
     for concurrency in CONCURRENCIES:
-        baseline_ms = run_point(StaticPartitionDeployment, concurrency,
-                                rounds, seed)
-        taichi_ms = run_point(TaiChiDeployment, concurrency, rounds, seed)
-        rows.append({
-            "concurrency": concurrency,
-            "baseline_avg_ms": baseline_ms,
-            "taichi_avg_ms": taichi_ms,
-            "speedup": ratio(baseline_ms, taichi_ms),
-        })
+        row = {"concurrency": concurrency}
+        for arm in arms:
+            row[f"{arm}_avg_ms"] = run_point(arm, concurrency, rounds, seed)
+        # Speedup of the last arm over the reference (first) arm.
+        row["speedup"] = ratio(row[f"{arms[0]}_avg_ms"],
+                               row[f"{arms[-1]}_avg_ms"])
+        rows.append(row)
     return ExperimentResult(
         exp_id="fig11",
         title="synth_cp average execution time vs concurrency",

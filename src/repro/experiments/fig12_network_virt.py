@@ -6,25 +6,16 @@ The paper reports ~8 % degradation for vDP, ~26 % for type-2, and ~0.2 %
 for Tai Chi.
 """
 
-from repro.baselines import (
-    StaticPartitionDeployment,
-    TaiChiDeployment,
-    TaiChiVDPDeployment,
-    Type2Deployment,
-)
 from repro.experiments.common import overhead_pct, scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
+from repro.scenario import arms_under_test, build
 from repro.sim.units import MILLISECONDS
 from repro.workloads import run_tcp_crr
 from repro.workloads.background import start_cp_background
 
-SYSTEMS = (
-    ("baseline", StaticPartitionDeployment),
-    ("taichi", TaiChiDeployment),
-    ("taichi-vdp", TaiChiVDPDeployment),
-    ("type2", Type2Deployment),
-)
+#: Reference arm first; ``run --arm`` swaps in any registry arms.
+DEFAULT_ARMS = ("baseline", "taichi", "taichi-vdp", "type2")
 
 
 @register("fig12", "netperf tcp_crr under four virtualization designs",
@@ -33,15 +24,15 @@ def run(scale=1.0, seed=0):
     duration = scaled_duration(60 * MILLISECONDS, scale)
     rows = []
     baseline_cps = None
-    for label, cls in SYSTEMS:
-        deployment = cls(seed=seed)
+    for arm in arms_under_test(DEFAULT_ARMS):
+        deployment = build(arm, seed=seed)
         start_cp_background(deployment, n_monitors=4, rolling_tasks=2)
         deployment.warmup()
         result = run_tcp_crr(deployment, duration, n_connections=512)
         if baseline_cps is None:
             baseline_cps = result["cps"]
         rows.append({
-            "system": label,
+            "system": arm,
             "cps": result["cps"],
             "avg_rx_pps": result["avg_rx_pps"],
             "avg_tx_pps": result["avg_tx_pps"],

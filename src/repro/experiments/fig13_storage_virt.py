@@ -4,25 +4,16 @@ The paper reports ~6 % IOPS degradation for Tai Chi-vDP, ~25.7 % for
 type-2 QEMU+KVM, and ~0.06 % for Tai Chi.
 """
 
-from repro.baselines import (
-    StaticPartitionDeployment,
-    TaiChiDeployment,
-    TaiChiVDPDeployment,
-    Type2Deployment,
-)
 from repro.experiments.common import overhead_pct, scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
+from repro.scenario import arms_under_test, build
 from repro.sim.units import MILLISECONDS
 from repro.workloads import run_fio
 from repro.workloads.background import start_cp_background
 
-SYSTEMS = (
-    ("baseline", StaticPartitionDeployment),
-    ("taichi", TaiChiDeployment),
-    ("taichi-vdp", TaiChiVDPDeployment),
-    ("type2", Type2Deployment),
-)
+#: Reference arm first; ``run --arm`` swaps in any registry arms.
+DEFAULT_ARMS = ("baseline", "taichi", "taichi-vdp", "type2")
 
 
 @register("fig13", "fio IOPS under four virtualization designs", "Figure 13")
@@ -30,15 +21,15 @@ def run(scale=1.0, seed=0):
     duration = scaled_duration(60 * MILLISECONDS, scale)
     rows = []
     baseline_iops = None
-    for label, cls in SYSTEMS:
-        deployment = cls(seed=seed, dp_kind="storage")
+    for arm in arms_under_test(DEFAULT_ARMS):
+        deployment = build(arm, seed=seed, dp_kind="storage")
         start_cp_background(deployment, n_monitors=4, rolling_tasks=2)
         deployment.warmup()
         result = run_fio(deployment, duration)
         if baseline_iops is None:
             baseline_iops = result["iops"]
         rows.append({
-            "system": label,
+            "system": arm,
             "iops": result["iops"],
             "bw_mbps": result["bw_mbps"],
             "overhead_pct": overhead_pct(result["iops"], baseline_iops),

@@ -5,10 +5,10 @@ and udp) with the standing CP background active.  The paper reports 0.6 %
 average overhead with a 1.92 % peak.
 """
 
-from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
 from repro.experiments.common import scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
+from repro.scenario import arms_under_test, build
 from repro.sim.units import MILLISECONDS
 from repro.workloads import (
     run_sockperf_tcp,
@@ -27,9 +27,12 @@ CASES = (
     ("sockperf_udp:avg_lat", run_sockperf_udp, "udp_avg_lat_ns", -1.0),
 )
 
+#: Reference arm first, measured arm second (``run --arm`` overrides).
+DEFAULT_ARMS = ("baseline", "taichi")
 
-def _measure(cls, case_fn, metric, duration, seed):
-    deployment = cls(seed=seed)
+
+def _measure(arm, case_fn, metric, duration, seed):
+    deployment = build(arm, seed=seed)
     start_cp_background(deployment, n_monitors=4, rolling_tasks=3)
     deployment.warmup()
     return case_fn(deployment, duration)[metric]
@@ -38,12 +41,13 @@ def _measure(cls, case_fn, metric, duration, seed):
 @register("fig14", "Normalized DP performance (netperf + sockperf)",
           "Figure 14")
 def run(scale=1.0, seed=0):
+    arms = arms_under_test(DEFAULT_ARMS)
+    reference, measured = arms[0], arms[-1]
     duration = scaled_duration(50 * MILLISECONDS, scale)
     rows = []
     for label, case_fn, metric, direction in CASES:
-        baseline = _measure(StaticPartitionDeployment, case_fn, metric,
-                            duration, seed)
-        taichi = _measure(TaiChiDeployment, case_fn, metric, duration, seed)
+        baseline = _measure(reference, case_fn, metric, duration, seed)
+        taichi = _measure(measured, case_fn, metric, duration, seed)
         normalized = taichi / baseline if baseline else 0.0
         overhead = (1.0 - normalized) * direction * 100.0
         rows.append({

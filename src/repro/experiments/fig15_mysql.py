@@ -4,10 +4,10 @@ The paper reports 1.56 % average overhead (peaking at 1.63 % in average
 query throughput).
 """
 
-from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
 from repro.experiments.common import overhead_pct, scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
+from repro.scenario import arms_under_test, build
 from repro.sim.units import MILLISECONDS
 from repro.workloads import run_mysql
 from repro.workloads.background import start_cp_background
@@ -15,9 +15,12 @@ from repro.workloads.background import start_cp_background
 METRICS = ("avg_query_per_s", "max_query_per_s", "avg_trans_per_s",
            "max_trans_per_s")
 
+#: Reference arm first, measured arm second (``run --arm`` overrides).
+DEFAULT_ARMS = ("baseline", "taichi")
 
-def _measure(cls, duration, seed):
-    deployment = cls(seed=seed)
+
+def _measure(arm, duration, seed):
+    deployment = build(arm, seed=seed)
     start_cp_background(deployment, n_monitors=4, rolling_tasks=3)
     deployment.warmup()
     return run_mysql(deployment, duration)
@@ -25,9 +28,10 @@ def _measure(cls, duration, seed):
 
 @register("fig15", "MySQL throughput under sysbench", "Figure 15")
 def run(scale=1.0, seed=0):
+    arms = arms_under_test(DEFAULT_ARMS)
     duration = scaled_duration(60 * MILLISECONDS, scale)
-    baseline = _measure(StaticPartitionDeployment, duration, seed)
-    taichi = _measure(TaiChiDeployment, duration, seed)
+    baseline = _measure(arms[0], duration, seed)
+    taichi = _measure(arms[-1], duration, seed)
     rows = []
     for metric in METRICS:
         rows.append({

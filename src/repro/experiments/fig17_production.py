@@ -4,24 +4,28 @@ The production result: a 3.1x reduction in average VM startup latency in
 high-density deployments.
 """
 
-from repro.baselines import StaticPartitionDeployment, TaiChiDeployment
 from repro.experiments.common import ratio, scaled_count
 from repro.experiments.fig2_motivation import DENSITIES, run_density_point
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
+from repro.scenario import arms_under_test
 from repro.sim.units import MILLISECONDS
+
+#: Reference arm first, measured arm second (``run --arm`` overrides).
+DEFAULT_ARMS = ("baseline", "taichi")
 
 
 @register("fig17", "VM startup vs density, with/without Tai Chi", "Figure 17")
 def run(scale=1.0, seed=0):
+    arms = arms_under_test(DEFAULT_ARMS)
     storm_size = scaled_count(16, scale, floor=8)
     rows = []
     for density in DENSITIES:
         base_startup, _, slo_ns = run_density_point(
-            StaticPartitionDeployment, density, storm_size, seed
+            arms[0], density, storm_size, seed
         )
         taichi_startup, _, _ = run_density_point(
-            TaiChiDeployment, density, storm_size, seed
+            arms[-1], density, storm_size, seed
         )
         rows.append({
             "density": density,

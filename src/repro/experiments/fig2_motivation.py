@@ -5,22 +5,22 @@ baseline.  The paper reports CP task execution time degrading ~8x and VM
 startup exceeding its SLO by ~3.1x at density x4.
 """
 
-from repro.baselines import StaticPartitionDeployment
 from repro.cp.device_mgmt import DeviceManager, DeviceMgmtParams
 from repro.cp.orchestration import Orchestrator
 from repro.experiments.common import ratio, scaled_count
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
+from repro.scenario import build
 from repro.sim.units import MILLISECONDS, SECONDS
 from repro.workloads.background import start_cp_background
 
 DENSITIES = (1.0, 2.0, 3.0, 4.0)
 
 
-def run_density_point(deployment_cls, density, storm_size, seed,
-                      max_ns=120 * SECONDS, **deployment_kwargs):
+def run_density_point(arm, density, storm_size, seed,
+                      max_ns=120 * SECONDS, **knobs):
     """One storm at one density; returns (startup stats, CP-exec stats)."""
-    deployment = deployment_cls(seed=seed, **deployment_kwargs)
+    deployment = build(arm, seed=seed, **knobs)
     # Standing CP load (monitoring, log shipping) scales with the number of
     # instances and devices on the node — i.e. with density (Section 3.1).
     start_cp_background(
@@ -58,7 +58,7 @@ def run(scale=1.0, seed=0):
     base_cp = None
     for density in DENSITIES:
         startup_ns, cp_ns, slo_ns = run_density_point(
-            StaticPartitionDeployment, density, storm_size, seed
+            "baseline", density, storm_size, seed
         )
         if base_cp is None:
             base_cp = cp_ns

@@ -9,11 +9,11 @@ Chi, where the same non-preemptible routine runs inside a vCPU that the
 hardware workload probe revokes the moment traffic appears.
 """
 
-from repro.baselines import NaiveCoscheduleDeployment, TaiChiDeployment
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
 from repro.hw.packet import IORequest, PacketKind
 from repro.kernel import Compute, KernelSection, LockAcquire, LockRelease
+from repro.scenario import build
 from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
 
 
@@ -25,16 +25,11 @@ def _measure_spike(mode, seed, section_ns=4 * MILLISECONDS):
     DP CPU), or ``"taichi"`` (the same non-preemptible routine, but frozen
     inside a vCPU the scheduler revokes on packet arrival).
     """
-    if mode == "taichi":
-        deployment = TaiChiDeployment(seed=seed, board_config=None,
-                                      dp_kind="net")
-        # Affinity deliberately excludes the dedicated CP pCPUs: the point
-        # is to observe the routine inside a vCPU on the DP partition.
-        cp_affinity = None  # resolved after vCPU boot, below
-    else:
-        deployment = NaiveCoscheduleDeployment(seed=seed, board_config=None,
-                                               dp_kind="net")
-        cp_affinity = None
+    # Affinity deliberately excludes the dedicated CP pCPUs in taichi mode:
+    # the point is to observe the routine inside a vCPU on the DP partition
+    # (resolved after vCPU boot, below).
+    arm = "taichi" if mode == "taichi" else "naive"
+    deployment = build(arm, seed=seed, dp_kind="net")
     env = deployment.env
     deployment.env.tracer.enable()
     board = deployment.board

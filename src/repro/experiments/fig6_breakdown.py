@@ -5,17 +5,17 @@ checks the scheduling-latency-hiding arithmetic of Observation 4: the
 ~3.2 us preprocessing window exceeds the ~2 us vCPU switch cost.
 """
 
-from repro.baselines import StaticPartitionDeployment
 from repro.core.config import TaiChiConfig
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
 from repro.hw.packet import IORequest, PacketKind
+from repro.scenario import build
 from repro.sim.units import MICROSECONDS, MILLISECONDS
 
 
 @register("fig6", "I/O preprocessing breakdown", "Figure 6")
 def run(scale=1.0, seed=0):
-    deployment = StaticPartitionDeployment(seed=seed)
+    deployment = build("baseline", seed=seed)
     env = deployment.env
     board = deployment.board
     samples = []

@@ -9,11 +9,11 @@ all five prior systems share on SmartNICs) and Tai Chi's VM-exit-based
 preemption granularity.
 """
 
-from repro.baselines import TaiChiDeployment
 from repro.experiments.fig4_spike_demo import _measure_spike
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
 from repro.hw.packet import IORequest, PacketKind
+from repro.scenario import build
 from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
 from repro.workloads.background import start_cp_background
 
@@ -28,7 +28,7 @@ PRIOR_WORK = (
 
 def _measure_taichi_preemption(seed):
     """DP reclaim latency under Tai Chi while a CP vCPU runs a kernel section."""
-    deployment = TaiChiDeployment(seed=seed)
+    deployment = build("taichi", seed=seed)
     start_cp_background(deployment, n_monitors=2, rolling_tasks=4)
     deployment.warmup(5 * MILLISECONDS)
     env = deployment.env

@@ -5,15 +5,10 @@ the deployment models; DP performance class measured with a short tcp_crr
 run on each.
 """
 
-from repro.baselines import (
-    StaticPartitionDeployment,
-    TaiChiDeployment,
-    TaiChiVDPDeployment,
-    Type2Deployment,
-)
 from repro.experiments.common import overhead_pct, scaled_duration
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentResult
+from repro.scenario import arms_under_test, build
 from repro.sim.units import MILLISECONDS
 from repro.workloads import run_tcp_crr
 
@@ -41,26 +36,27 @@ PROPERTIES = {
     },
 }
 
-SYSTEMS = (
-    ("taichi-vdp", TaiChiVDPDeployment),
-    ("type2", Type2Deployment),
-    ("taichi", TaiChiDeployment),
-)
+#: Measured arms, in table order; ``run --arm`` narrows/extends the set
+#: (arms without a PROPERTIES entry get a generic label).
+DEFAULT_ARMS = ("taichi-vdp", "type2", "taichi")
 
 
 @register("table2", "Virtualization architectures compared", "Table 2")
 def run(scale=1.0, seed=0):
     duration = scaled_duration(30 * MILLISECONDS, scale)
-    baseline = StaticPartitionDeployment(seed=seed)
+    baseline = build("baseline", seed=seed)
     baseline.warmup()
     base_cps = run_tcp_crr(baseline, duration, n_connections=512)["cps"]
     rows = []
-    for key, cls in SYSTEMS:
-        deployment = cls(seed=seed)
+    for arm in arms_under_test(DEFAULT_ARMS):
+        deployment = build(arm, seed=seed)
         deployment.warmup()
         cps = run_tcp_crr(deployment, duration, n_connections=512)["cps"]
         overhead = overhead_pct(cps, base_cps)
-        props = PROPERTIES[key]
+        props = PROPERTIES.get(arm, {
+            "label": arm, "dp_residency": "-", "cp_residency": "-",
+            "os_count": 1, "dp_cp_ipc": "-",
+        })
         rows.append({
             "architecture": props["label"],
             "dp_residency": props["dp_residency"],

@@ -3,10 +3,10 @@
 :func:`run_node` is the process-pool worker — a module-level function
 taking one plain-dict payload and returning one plain-dict summary, so
 it pickles across :class:`~concurrent.futures.ProcessPoolExecutor`
-boundaries.  The simulation it runs is the production-soak shape (bursty
-DP background, CP hum, tenant latency probes, VM-creation storms through
-the host/eNIC lifecycle) parameterized by the node's
-:class:`~repro.fleet.spec.NodeSpec`.
+boundaries.  The simulation itself is the shared production-soak driver
+(:func:`repro.scenario.soak.run_soak`) parameterized by the node's
+embedded :class:`~repro.scenario.spec.Scenario`; this module only adds
+the seed derivation, observability capture, and invariant verdicts.
 
 Determinism contract: the summary is a pure function of (payload), with
 the node's seed derived from the fleet root via
@@ -15,40 +15,18 @@ state, no dependence on which worker ran it.  ``FleetRunner`` leans on
 this to produce byte-identical reports at any ``--jobs`` level.
 """
 
-from repro.baselines import build_deployment
-from repro.faults.session import active_fault_plan
-from repro.fleet.spec import NodeSpec, TRAFFIC_PROFILES
-from repro.hw.host import HostNode, VMSpec
-from repro.hw.packet import IORequest, PacketKind
-from repro.metrics import LatencyRecorder
-from repro.metrics.stats import summarize
+# The canonical attainment helper lives in repro.metrics.stats; re-exported
+# because the aggregator and tests historically import it from here.
+from repro.fleet.spec import NodeSpec
+from repro.metrics.stats import attainment_pct  # noqa: F401
 from repro.obs import observe, write_jsonl
+from repro.scenario.soak import run_soak
 from repro.sim.rng import derive_seed
-from repro.sim.units import MICROSECONDS, MILLISECONDS
-
-#: Per-node probe-sample retention; beyond this the recorder's reservoir
-#: keeps percentiles honest but the summary stops shipping raw samples.
-_SAMPLE_CAP = 50_000
-
-#: ``WorkloadMix.dp_utilization`` is offered load relative to this nominal
-#: DP partition size, so a node that repartitions CPUs (``dp_boost``, or
-#: type-2 losing one to QEMU) sees the *same* total traffic spread over
-#: its actual service count — capacity changes show up in latency, not in
-#: offered work.
-_NOMINAL_DP_SERVICES = 8
 
 
 def node_seed(root_seed, node_id):
     """The derived seed a node simulates under (shared with tests)."""
     return derive_seed(root_seed, "fleet-node", node_id)
-
-
-def attainment_pct(within, total):
-    """SLO attainment with the vacuous case pinned at 100 (no samples =
-    no violations), so short smoke runs don't read as fleet-wide outages."""
-    if total <= 0:
-        return 100.0
-    return 100.0 * within / total
 
 
 def run_node(payload):
@@ -63,13 +41,14 @@ def run_node(payload):
     check_invariants = bool(payload.get("check_invariants", False))
     with observe(trace=capture_path is not None,
                  check_invariants=check_invariants) as session:
-        summary = _simulate(
-            node,
+        summary = run_soak(
+            node.scenario,
             seed=node_seed(payload["root_seed"], node.node_id),
             duration_ns=int(payload["duration_ns"]),
             drain_ns=int(payload["drain_ns"]),
             dp_slo_us=float(payload["dp_slo_us"]),
             fault_scale=float(payload.get("fault_scale", 1.0)),
+            label=node.node_id,
         )
         if capture_path is not None:
             write_jsonl(capture_path, session.streams)
@@ -80,120 +59,6 @@ def run_node(payload):
         "checked": check_invariants,
         "violations": len(violations),
         "ok": not violations,
-    }
-    return summary
-
-
-def _simulate(node, seed, duration_ns, drain_ns, dp_slo_us, fault_scale):
-    from repro.workloads.background import (
-        start_cp_background, start_dp_background,
-    )
-
-    plan = node.fault_plan()
-    if plan is not None and fault_scale != 1.0:
-        plan = plan.scaled(fault_scale)
-    with active_fault_plan(plan):
-        deployment = build_deployment(node.deployment, seed=seed)
-    if node.dp_boost:
-        from repro.core import DynamicRepartitioner
-
-        deployment.warmup()
-        DynamicRepartitioner(deployment).cp_to_dp(node.dp_boost)
-    if node.degradation:
-        deployment.taichi.enable_degradation()
-
-    mix = node.workload
-    per_service_util = min(
-        mix.dp_utilization * _NOMINAL_DP_SERVICES / len(deployment.services),
-        0.95)
-    start_dp_background(deployment, utilization=per_service_util,
-                        burstiness=TRAFFIC_PROFILES[node.traffic])
-    start_cp_background(deployment, n_monitors=mix.n_monitors,
-                        rolling_tasks=mix.rolling_tasks)
-    deployment.warmup()
-    env = deployment.env
-    board = deployment.board
-    host = HostNode(deployment)
-
-    probe_latency = LatencyRecorder(name=f"{node.node_id}-probe",
-                                    cap=_SAMPLE_CAP)
-
-    def latency_probe():
-        rng = deployment.rng.stream("fleet-probe")
-        period_ns = mix.probe_period_us * MICROSECONDS
-        while True:
-            queue = int(rng.integers(0, 8))
-            done = env.event()
-            done.callbacks.append(
-                lambda event: probe_latency.record(
-                    event.value.total_latency_ns))
-            board.accelerator.submit(IORequest(
-                PacketKind.NET_TX, 64, ("net", queue, 0),
-                service_ns=1_500, done=done))
-            yield env.timeout(int(rng.exponential(period_ns)))
-
-    env.process(latency_probe(), name="latency-probe")
-
-    def storm_source():
-        rng = deployment.rng.stream("fleet-storms")
-        period_ns = mix.vm_period_ms * MILLISECONDS
-        while True:
-            yield env.timeout(int(rng.exponential(period_ns)))
-            for _ in range(int(rng.integers(mix.vm_batch_min,
-                                            mix.vm_batch_max + 1))):
-                host.create_vm(VMSpec(n_vblks=mix.vm_vblks))
-
-    env.process(storm_source(), name="storm-source")
-    deployment.run(env.now + duration_ns)
-    # Drain: give in-flight startups a grace window.
-    deployment.run(env.now + drain_ns)
-
-    dp_samples_us = [value / MICROSECONDS for value in probe_latency.samples]
-    dp_within = sum(1 for value in dp_samples_us if value <= dp_slo_us)
-
-    startups_ms = sorted(
-        vm.startup_time_ns() / MILLISECONDS for vm in host.vms
-        if vm.startup_time_ns() is not None)
-    slo_ns = host.manager.params.startup_slo_ns
-    slo_ms = slo_ns / MILLISECONDS
-    startup_within = sum(1 for value in startups_ms if value <= slo_ms)
-    # A startup still pending past the SLO is a violation even though it
-    # never produced a sample — a saturated control plane must not score
-    # 100% by finishing almost nothing.  Requests younger than the SLO at
-    # stream end are censored (they still had time), not counted.
-    overdue_pending = sum(
-        1 for vm in host.vms
-        if vm.startup_time_ns() is None
-        and env.now - vm.request.t_issued > slo_ns)
-    startup_total = len(startups_ms) + overdue_pending
-
-    injector = deployment.fault_injector
-    summary = {
-        "node_id": node.node_id,
-        "deployment": node.deployment,
-        "traffic": node.traffic,
-        "seed": seed,
-        "dp_samples_us": dp_samples_us,
-        "dp_sample_count": probe_latency.count,
-        "dp_latency_us": summarize(dp_samples_us, qs=(50, 90, 99, 99.9)),
-        "dp_slo_us": dp_slo_us,
-        "dp_within_slo": dp_within,
-        "dp_slo_attainment_pct": attainment_pct(dp_within,
-                                                len(dp_samples_us)),
-        "startup_samples_ms": startups_ms,
-        "startup_ms": summarize(startups_ms, qs=(50, 90, 99)),
-        "startup_slo_ms": slo_ms,
-        "startup_within_slo": startup_within,
-        "startup_slo_total": startup_total,
-        "startup_overdue_pending": overdue_pending,
-        "startup_slo_attainment_pct": attainment_pct(startup_within,
-                                                     startup_total),
-        "vms_started": len(startups_ms),
-        "vms_requested": len(host.vms),
-        "faults": {
-            "injected": injector.injected if injector else 0,
-            "cleared": injector.cleared if injector else 0,
-        },
     }
     return summary
 

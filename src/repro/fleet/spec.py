@@ -15,151 +15,105 @@ makes results byte-identical at any ``--jobs`` level.
 """
 
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
-from repro.baselines import DEPLOYMENTS
-from repro.faults.plan import FaultPlan, PRESETS as FAULT_PRESETS
-
-#: Traffic profile name -> burstiness knob of the DP background generator
-#: (duty-cycle peak-to-mean; see ``start_dp_background``).
-TRAFFIC_PROFILES = {
-    "steady": 0.2,
-    "bursty": 0.5,
-    "spiky": 0.75,
-}
-
-#: Deployment classes that carry a live TaiChi instance (and thus accept
-#: ``dp_boost`` / ``degradation``).
-_TAICHI_CLASSES = frozenset({"taichi", "taichi-no-hw-probe", "taichi-vdp"})
+# WorkloadMix and TRAFFIC_PROFILES moved to repro.scenario.spec with the
+# scenario layer; re-exported here because fleet callers predate it.
+from repro.scenario.spec import (  # noqa: F401
+    Scenario,
+    TRAFFIC_PROFILES,
+    WorkloadMix,
+)
 
 
-@dataclass
-class WorkloadMix:
-    """Per-node load knobs: DP pressure, CP hum, and VM-creation density."""
-
-    dp_utilization: float = 0.30
-    n_monitors: int = 4
-    rolling_tasks: int = 3
-    probe_period_us: float = 400.0
-    vm_period_ms: float = 120.0
-    vm_batch_min: int = 4
-    vm_batch_max: int = 10
-    vm_vblks: int = 4
-
-    def __post_init__(self):
-        if not 0.0 < self.dp_utilization < 1.0:
-            raise ValueError(
-                f"dp_utilization must be in (0, 1), got {self.dp_utilization}")
-        if self.n_monitors < 0 or self.rolling_tasks < 0:
-            raise ValueError("n_monitors/rolling_tasks must be >= 0")
-        if self.probe_period_us <= 0:
-            raise ValueError("probe_period_us must be positive")
-        if self.vm_period_ms <= 0:
-            raise ValueError("vm_period_ms must be positive")
-        if not 0 < self.vm_batch_min <= self.vm_batch_max:
-            raise ValueError(
-                "need 0 < vm_batch_min <= vm_batch_max, got "
-                f"{self.vm_batch_min}..{self.vm_batch_max}")
-        if self.vm_vblks < 0:
-            raise ValueError("vm_vblks must be >= 0")
-
-    def to_dict(self):
-        return {
-            "dp_utilization": self.dp_utilization,
-            "n_monitors": self.n_monitors,
-            "rolling_tasks": self.rolling_tasks,
-            "probe_period_us": self.probe_period_us,
-            "vm_period_ms": self.vm_period_ms,
-            "vm_batch_min": self.vm_batch_min,
-            "vm_batch_max": self.vm_batch_max,
-            "vm_vblks": self.vm_vblks,
-        }
-
-
-@dataclass
 class NodeSpec:
-    """One SmartNIC board in the fleet.
+    """One SmartNIC board in the fleet: an id plus a :class:`Scenario`.
 
-    ``faults`` is either a preset name (``"storm"``), a FaultPlan dict,
-    or a :class:`FaultPlan`; the runner scales it along with the node
-    duration.  ``dp_boost`` moves that many CP pCPUs to the data plane
-    after warmup (Section 8's inverse adaptation); ``degradation``
-    installs the graceful-degradation layer.  Both require a
-    Tai Chi-family deployment class.
+    A thin wrapper — the arm, workload mix, traffic profile, fault plan
+    and dp_boost/degradation flags all live in the embedded scenario.
+    The historical flat keyword surface (``deployment=``, ``traffic=``,
+    ``workload=``, ``dp_boost=``, ``degradation=``, ``faults=``) still
+    constructs, and the matching read-only properties still resolve, so
+    existing specs, JSON files and callers keep working.
     """
 
-    node_id: str
-    deployment: str = "taichi"
-    traffic: str = "bursty"
-    workload: WorkloadMix = field(default_factory=WorkloadMix)
-    dp_boost: int = 0
-    degradation: bool = False
-    faults: object = None
-
-    def __post_init__(self):
-        if not isinstance(self.node_id, str) or not self.node_id:
+    def __init__(self, node_id, scenario=None, *, deployment=None,
+                 traffic=None, workload=None, knobs=None, dp_boost=None,
+                 degradation=None, faults=None):
+        if not isinstance(node_id, str) or not node_id:
             raise ValueError("node_id must be a non-empty string")
-        if self.deployment not in DEPLOYMENTS:
-            raise ValueError(
-                f"unknown deployment class {self.deployment!r}; "
-                f"choose from {sorted(DEPLOYMENTS)}")
-        if self.traffic not in TRAFFIC_PROFILES:
-            raise ValueError(
-                f"unknown traffic profile {self.traffic!r}; "
-                f"choose from {sorted(TRAFFIC_PROFILES)}")
-        if isinstance(self.workload, dict):
-            self.workload = WorkloadMix(**self.workload)
-        self.dp_boost = int(self.dp_boost)
-        if self.dp_boost < 0:
-            raise ValueError("dp_boost must be >= 0")
-        taichi_family = self.deployment in _TAICHI_CLASSES
-        if self.dp_boost and not taichi_family:
-            raise ValueError(
-                f"dp_boost requires a Tai Chi deployment class, "
-                f"got {self.deployment!r}")
-        if self.degradation and not taichi_family:
-            raise ValueError(
-                f"degradation requires a Tai Chi deployment class, "
-                f"got {self.deployment!r}")
-        if isinstance(self.faults, str):
-            if self.faults not in FAULT_PRESETS:
+        self.node_id = node_id
+        if scenario is not None:
+            flat = {"deployment": deployment, "traffic": traffic,
+                    "workload": workload, "knobs": knobs,
+                    "dp_boost": dp_boost, "degradation": degradation,
+                    "faults": faults}
+            clashes = sorted(key for key, value in flat.items()
+                             if value is not None)
+            if clashes:
                 raise ValueError(
-                    f"unknown fault preset {self.faults!r}; "
-                    f"choose from {sorted(FAULT_PRESETS)}")
-        elif isinstance(self.faults, dict):
-            self.faults = FaultPlan.from_dict(self.faults)
-        elif self.faults is not None and not isinstance(self.faults, FaultPlan):
-            raise ValueError(
-                "faults must be a preset name, a FaultPlan dict, or a "
-                f"FaultPlan, got {type(self.faults).__name__}")
+                    f"pass either scenario= or flat node fields, not both "
+                    f"(got scenario plus {clashes})")
+            if isinstance(scenario, dict):
+                scenario = Scenario.from_dict(scenario)
+            if not isinstance(scenario, Scenario):
+                raise ValueError(
+                    f"scenario must be a Scenario or its dict, got "
+                    f"{type(scenario).__name__}")
+            self.scenario = scenario
+        else:
+            self.scenario = Scenario(
+                arm=deployment if deployment is not None else "taichi",
+                traffic=traffic if traffic is not None else "bursty",
+                workload=(workload if workload is not None
+                          else WorkloadMix()),
+                knobs=knobs or {},
+                dp_boost=dp_boost or 0,
+                degradation=bool(degradation),
+                faults=faults,
+            )
+
+    # -- Flat views into the embedded scenario ------------------------------------
+
+    @property
+    def deployment(self):
+        return self.scenario.arm
+
+    @property
+    def traffic(self):
+        return self.scenario.traffic
+
+    @property
+    def workload(self):
+        return self.scenario.workload
+
+    @property
+    def dp_boost(self):
+        return self.scenario.dp_boost
+
+    @property
+    def degradation(self):
+        return self.scenario.degradation
+
+    @property
+    def faults(self):
+        return self.scenario.faults
 
     def fault_plan(self):
-        """Resolve ``faults`` to a :class:`FaultPlan` (or None)."""
-        if self.faults is None:
-            return None
-        if isinstance(self.faults, str):
-            return FaultPlan.preset(self.faults)
-        return self.faults
+        """Resolve the scenario's faults to a :class:`FaultPlan` (or None)."""
+        return self.scenario.fault_plan()
 
     def to_dict(self):
-        data = {
-            "node_id": self.node_id,
-            "deployment": self.deployment,
-            "traffic": self.traffic,
-            "workload": self.workload.to_dict(),
-        }
-        if self.dp_boost:
-            data["dp_boost"] = self.dp_boost
-        if self.degradation:
-            data["degradation"] = True
-        if self.faults is not None:
-            data["faults"] = (self.faults if isinstance(self.faults, str)
-                              else self.faults.to_dict())
-        return data
+        return {"node_id": self.node_id,
+                "scenario": self.scenario.to_dict()}
 
     @classmethod
     def from_dict(cls, data):
+        """Accept both the nested form and the historical flat form."""
         return cls(**data)
+
+    def __repr__(self):
+        return f"<NodeSpec {self.node_id!r} {self.scenario!r}>"
 
 
 @dataclass

@@ -6,8 +6,11 @@ from repro.metrics.stats import (
     LatencyRecorder,
     RateMeter,
     WelfordStats,
+    attainment_pct,
+    overhead_pct,
     percentile,
     percentiles,
+    ratio,
     summarize,
 )
 from repro.metrics.schedviz import occupancy_spans, render_gantt
@@ -23,7 +26,10 @@ __all__ = [
     "Timeline",
     "TimelineEvent",
     "WelfordStats",
+    "attainment_pct",
+    "overhead_pct",
     "percentile",
     "percentiles",
+    "ratio",
     "summarize",
 ]

@@ -45,6 +45,28 @@ def summarize(values, qs=(50, 90, 99)):
     return summary
 
 
+def ratio(numerator, denominator):
+    """Safe ratio for derived metrics."""
+    if not denominator:
+        return float("inf") if numerator else 0.0
+    return numerator / denominator
+
+
+def overhead_pct(system_value, baseline_value):
+    """Percent throughput loss of ``system_value`` vs ``baseline_value``."""
+    if not baseline_value:
+        return 0.0
+    return (1.0 - system_value / baseline_value) * 100.0
+
+
+def attainment_pct(within, total):
+    """SLO attainment with the vacuous case pinned at 100 (no samples =
+    no violations), so short smoke runs don't read as fleet-wide outages."""
+    if total <= 0:
+        return 100.0
+    return 100.0 * within / total
+
+
 class WelfordStats:
     """Single-pass mean/variance/min/max accumulator."""
 

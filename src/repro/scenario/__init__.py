@@ -1,0 +1,65 @@
+"""Declarative scenarios: the arm × workload matrix as data.
+
+Public surface::
+
+    from repro.scenario import Scenario, build, arms_under_test, run_soak
+
+    deployment = build("taichi", seed=0, taichi_config=config)   # one arm
+    scenario = Scenario(arm="taichi", traffic="spiky")           # one cell
+    summary = run_soak(scenario, seed=0)                         # soak it
+
+Experiments call :func:`build` (optionally via :func:`arms_under_test`
+to honor the CLI ``--arm`` override); the fleet runner and the soak
+experiments drive :func:`run_soak`; ``FleetSpec`` nodes embed a
+:class:`Scenario`.  New arms plug in through
+:func:`~repro.scenario.arms.register_arm` and immediately work
+everywhere.
+"""
+
+from repro.scenario.arms import (
+    ARMS,
+    Arm,
+    arm_names,
+    build_arm,
+    get_arm,
+    is_arm,
+    register_arm,
+    validate_knobs,
+)
+from repro.scenario.session import (
+    arm_override,
+    arms_under_test,
+    current_arms,
+    parse_arm_list,
+)
+from repro.scenario.soak import run_soak
+from repro.scenario.spec import (
+    Scenario,
+    TRAFFIC_PROFILES,
+    WorkloadMix,
+    load_scenario,
+)
+
+#: The one construction path every caller shares (alias of ``build_arm``).
+build = build_arm
+
+__all__ = [
+    "ARMS",
+    "Arm",
+    "Scenario",
+    "TRAFFIC_PROFILES",
+    "WorkloadMix",
+    "arm_names",
+    "arm_override",
+    "arms_under_test",
+    "build",
+    "build_arm",
+    "current_arms",
+    "get_arm",
+    "is_arm",
+    "load_scenario",
+    "parse_arm_list",
+    "register_arm",
+    "run_soak",
+    "validate_knobs",
+]

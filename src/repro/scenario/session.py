@@ -1,0 +1,63 @@
+"""Module-global arm override (mirrors ``repro.faults.session``).
+
+Experiments pick their default arm lists in module code; the CLI's
+``run --arm NAME[,NAME...]`` flag needs to override that choice without
+threading a parameter through every ``run(scale, seed)`` signature.  The
+CLI activates the override for a dynamic scope and experiments consult
+it through :func:`arms_under_test`::
+
+    with arm_override(["baseline", "taichi-vdp"]):
+        result = run_experiment("fig12")
+
+Experiments that compare a reference against one or more measured arms
+treat the first override arm as the reference.  Fixed-mechanism
+experiments (ablations, single-arm motivation figures) ignore the
+override — they measure a specific mechanism, not an arm choice.
+"""
+
+from contextlib import contextmanager
+
+from repro.scenario.arms import get_arm
+
+_ARM_OVERRIDE = None
+
+
+def current_arms():
+    """The active ``--arm`` override as a tuple, or None."""
+    return _ARM_OVERRIDE
+
+
+def arms_under_test(defaults):
+    """The arms an experiment should measure: the override, else defaults."""
+    if _ARM_OVERRIDE is not None:
+        return tuple(_ARM_OVERRIDE)
+    return tuple(defaults)
+
+
+@contextmanager
+def arm_override(arms):
+    """Make ``arms`` the active override for the enclosed scope."""
+    global _ARM_OVERRIDE
+    validated = None
+    if arms is not None:
+        validated = tuple(arms)
+        if not validated:
+            raise ValueError("--arm needs at least one arm name")
+        for name in validated:
+            get_arm(name)  # raises with the registry's name list
+    previous = _ARM_OVERRIDE
+    _ARM_OVERRIDE = validated
+    try:
+        yield validated
+    finally:
+        _ARM_OVERRIDE = previous
+
+
+def parse_arm_list(text):
+    """Split a CLI ``--arm`` value (``"baseline,taichi"``) and validate."""
+    arms = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not arms:
+        raise ValueError("--arm needs at least one arm name")
+    for name in arms:
+        get_arm(name)
+    return arms

@@ -1,0 +1,144 @@
+"""The shared production-soak driver: one Scenario, one board, one summary.
+
+This is the simulation shape the paper's Section 6.6 production story
+rests on — bursty DP background at a fixed offered load, CP hum, tenant
+latency probes against the accelerator, VM-creation storms through the
+host/eNIC lifecycle, then a drain window for in-flight startups.  It
+used to live twice (``fleet.node._simulate`` and ``ext_production_soak``
+each carried a copy); both now call :func:`run_soak` with a
+:class:`~repro.scenario.spec.Scenario`.
+
+Determinism contract: the summary is a pure function of
+``(scenario, seed, windows)`` — no wall clock, no process-global state.
+The RNG stream names (``fleet-probe``, ``fleet-storms``) and process
+names are part of that contract: they seed the per-purpose substreams,
+so renaming them would silently re-draw every published fleet number.
+"""
+
+from repro.hw.host import HostNode, VMSpec
+from repro.hw.packet import IORequest, PacketKind
+from repro.metrics import LatencyRecorder
+from repro.metrics.stats import attainment_pct, summarize
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+
+#: Probe-sample retention; beyond this the recorder's reservoir keeps
+#: percentiles honest but the summary stops shipping raw samples.
+_SAMPLE_CAP = 50_000
+
+#: ``WorkloadMix.dp_utilization`` is offered load relative to this nominal
+#: DP partition size, so a board that repartitions CPUs (``dp_boost``, or
+#: type-2 losing one to QEMU) sees the *same* total traffic spread over
+#: its actual service count — capacity changes show up in latency, not in
+#: offered work.
+_NOMINAL_DP_SERVICES = 8
+
+
+def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
+             drain_ns=200 * MILLISECONDS, dp_slo_us=300.0, fault_scale=1.0,
+             label="node"):
+    """Soak one scenario and return its picklable summary dict.
+
+    ``fault_scale`` compresses the scenario's fault plan alongside a
+    scaled duration; ``label`` names the board in the summary and its
+    probe recorder (the fleet runner passes the node id).
+    """
+    from repro.scenario.spec import TRAFFIC_PROFILES
+    from repro.workloads.background import (
+        start_cp_background, start_dp_background,
+    )
+
+    deployment = scenario.build(seed=seed, fault_scale=fault_scale)
+
+    mix = scenario.workload
+    per_service_util = min(
+        mix.dp_utilization * _NOMINAL_DP_SERVICES / len(deployment.services),
+        0.95)
+    start_dp_background(deployment, utilization=per_service_util,
+                        burstiness=TRAFFIC_PROFILES[scenario.traffic])
+    start_cp_background(deployment, n_monitors=mix.n_monitors,
+                        rolling_tasks=mix.rolling_tasks)
+    deployment.warmup()
+    env = deployment.env
+    board = deployment.board
+    host = HostNode(deployment)
+
+    probe_latency = LatencyRecorder(name=f"{label}-probe", cap=_SAMPLE_CAP)
+
+    def latency_probe():
+        rng = deployment.rng.stream("fleet-probe")
+        period_ns = mix.probe_period_us * MICROSECONDS
+        while True:
+            queue = int(rng.integers(0, 8))
+            done = env.event()
+            done.callbacks.append(
+                lambda event: probe_latency.record(
+                    event.value.total_latency_ns))
+            board.accelerator.submit(IORequest(
+                PacketKind.NET_TX, 64, ("net", queue, 0),
+                service_ns=1_500, done=done))
+            yield env.timeout(int(rng.exponential(period_ns)))
+
+    env.process(latency_probe(), name="latency-probe")
+
+    def storm_source():
+        rng = deployment.rng.stream("fleet-storms")
+        period_ns = mix.vm_period_ms * MILLISECONDS
+        while True:
+            yield env.timeout(int(rng.exponential(period_ns)))
+            for _ in range(int(rng.integers(mix.vm_batch_min,
+                                            mix.vm_batch_max + 1))):
+                host.create_vm(VMSpec(n_vblks=mix.vm_vblks))
+
+    env.process(storm_source(), name="storm-source")
+    deployment.run(env.now + duration_ns)
+    # Drain: give in-flight startups a grace window.
+    deployment.run(env.now + drain_ns)
+
+    dp_samples_us = [value / MICROSECONDS for value in probe_latency.samples]
+    dp_within = sum(1 for value in dp_samples_us if value <= dp_slo_us)
+
+    startups_ms = sorted(
+        vm.startup_time_ns() / MILLISECONDS for vm in host.vms
+        if vm.startup_time_ns() is not None)
+    slo_ns = host.manager.params.startup_slo_ns
+    slo_ms = slo_ns / MILLISECONDS
+    startup_within = sum(1 for value in startups_ms if value <= slo_ms)
+    # A startup still pending past the SLO is a violation even though it
+    # never produced a sample — a saturated control plane must not score
+    # 100% by finishing almost nothing.  Requests younger than the SLO at
+    # stream end are censored (they still had time), not counted.
+    overdue_pending = sum(
+        1 for vm in host.vms
+        if vm.startup_time_ns() is None
+        and env.now - vm.request.t_issued > slo_ns)
+    startup_total = len(startups_ms) + overdue_pending
+
+    injector = deployment.fault_injector
+    summary = {
+        "node_id": label,
+        "deployment": scenario.arm,
+        "traffic": scenario.traffic,
+        "seed": seed,
+        "dp_samples_us": dp_samples_us,
+        "dp_sample_count": probe_latency.count,
+        "dp_latency_us": summarize(dp_samples_us, qs=(50, 90, 99, 99.9)),
+        "dp_slo_us": dp_slo_us,
+        "dp_within_slo": dp_within,
+        "dp_slo_attainment_pct": attainment_pct(dp_within,
+                                                len(dp_samples_us)),
+        "startup_samples_ms": startups_ms,
+        "startup_ms": summarize(startups_ms, qs=(50, 90, 99)),
+        "startup_slo_ms": slo_ms,
+        "startup_within_slo": startup_within,
+        "startup_slo_total": startup_total,
+        "startup_overdue_pending": overdue_pending,
+        "startup_slo_attainment_pct": attainment_pct(startup_within,
+                                                     startup_total),
+        "vms_started": len(startups_ms),
+        "vms_requested": len(host.vms),
+        "faults": {
+            "injected": injector.injected if injector else 0,
+            "cleared": injector.cleared if injector else 0,
+        },
+    }
+    return summary

@@ -1,0 +1,75 @@
+"""The shared soak driver: summary shape and determinism."""
+
+from repro.scenario import Scenario, arm_override, arms_under_test, run_soak
+from repro.scenario.session import current_arms, parse_arm_list
+from repro.sim.units import MILLISECONDS
+
+import pytest
+
+
+def _small_soak(**kwargs):
+    scenario = Scenario(**kwargs)
+    return run_soak(scenario, seed=11, duration_ns=30 * MILLISECONDS,
+                    drain_ns=15 * MILLISECONDS, label="soak-test")
+
+
+def test_summary_shape():
+    summary = _small_soak(arm="taichi")
+    assert summary["node_id"] == "soak-test"
+    assert summary["deployment"] == "taichi"
+    assert summary["dp_sample_count"] > 0
+    assert set(summary["dp_latency_us"]) >= {"count", "p50", "p99", "p99.9"}
+    assert 0.0 <= summary["dp_slo_attainment_pct"] <= 100.0
+    assert 0.0 <= summary["startup_slo_attainment_pct"] <= 100.0
+    assert summary["faults"] == {"injected": 0, "cleared": 0}
+
+
+def test_soak_is_deterministic():
+    assert _small_soak(arm="taichi") == _small_soak(arm="taichi")
+
+
+def test_faulted_soak_reports_injections():
+    # The probe_outage preset fires at 50 ms; compress it into the 30 ms
+    # soak window the same way the fleet runner scales plans with --scale.
+    scenario = Scenario(arm="taichi", faults="probe_outage",
+                        degradation=True)
+    summary = run_soak(scenario, seed=11, duration_ns=30 * MILLISECONDS,
+                       drain_ns=15 * MILLISECONDS, fault_scale=0.4,
+                       label="soak-test")
+    assert summary["faults"]["injected"] > 0
+
+
+def test_every_traffic_profile_runs():
+    for traffic in ("steady", "bursty", "spiky"):
+        summary = _small_soak(arm="baseline", traffic=traffic)
+        assert summary["traffic"] == traffic
+
+
+# -- The --arm override plumbing ----------------------------------------------------
+
+def test_arms_under_test_defaults_without_override():
+    assert current_arms() is None
+    assert arms_under_test(("baseline", "taichi")) == ("baseline", "taichi")
+
+
+def test_arm_override_scopes_and_restores():
+    with arm_override(["taichi-vdp"]):
+        assert arms_under_test(("baseline", "taichi")) == ("taichi-vdp",)
+        with arm_override(None):  # None clears the override for its scope
+            assert current_arms() is None
+        assert current_arms() == ("taichi-vdp",)
+    assert current_arms() is None
+
+
+def test_arm_override_validates_names():
+    with pytest.raises(ValueError, match="unknown arm"):
+        with arm_override(["baseline", "nope"]):
+            pass
+
+
+def test_parse_arm_list():
+    assert parse_arm_list("baseline, taichi") == ("baseline", "taichi")
+    with pytest.raises(ValueError, match="unknown arm"):
+        parse_arm_list("baseline,bogus")
+    with pytest.raises(ValueError, match="at least one"):
+        parse_arm_list(" , ")

@@ -1,0 +1,100 @@
+"""Scenario validation, JSON round-trip, and construction."""
+
+import os
+
+import pytest
+
+from repro.baselines import DEPLOYMENTS
+from repro.core import TaiChiConfig
+from repro.faults import FaultPlan
+from repro.scenario import Scenario, WorkloadMix, load_scenario
+
+
+def test_defaults_are_a_valid_taichi_scenario():
+    scenario = Scenario()
+    assert scenario.arm == "taichi"
+    assert scenario.traffic == "bursty"
+    deployment = scenario.build(seed=3)
+    assert isinstance(deployment, DEPLOYMENTS["taichi"])
+    assert deployment.fault_injector is None
+
+
+def test_unknown_arm_message_matches_fleet_contract():
+    with pytest.raises(ValueError, match="unknown deployment class 'vapor'"):
+        Scenario(arm="vapor")
+
+
+def test_unknown_traffic_profile_rejected():
+    with pytest.raises(ValueError, match="unknown traffic profile 'chaos'"):
+        Scenario(traffic="chaos")
+
+
+def test_unknown_fault_preset_rejected():
+    with pytest.raises(ValueError, match="unknown fault preset 'meteor'"):
+        Scenario(faults="meteor")
+
+
+def test_post_knobs_require_taichi_family():
+    with pytest.raises(ValueError,
+                       match="dp_boost requires a Tai Chi deployment class"):
+        Scenario(arm="baseline", dp_boost=1)
+    with pytest.raises(ValueError,
+                       match="degradation requires a Tai Chi deployment"):
+        Scenario(arm="type2", degradation=True)
+
+
+def test_unknown_knob_rejected_at_spec_time():
+    with pytest.raises(ValueError, match="does not accept knob"):
+        Scenario(arm="naive", knobs={"taichi_config": {}})
+
+
+def test_workload_dict_is_coerced():
+    scenario = Scenario(workload={"dp_utilization": 0.5})
+    assert isinstance(scenario.workload, WorkloadMix)
+    assert scenario.workload.dp_utilization == 0.5
+
+
+def test_json_round_trip_with_knobs_faults_and_boost(tmp_path):
+    scenario = Scenario(
+        arm="taichi", traffic="spiky",
+        workload=WorkloadMix(dp_utilization=0.4, vm_batch_max=12),
+        knobs={"taichi_config": TaiChiConfig(adaptive_threshold=False),
+               "dp_kind": "storage"},
+        dp_boost=1, degradation=True, faults="storm")
+    path = os.path.join(tmp_path, "scenario.json")
+    scenario.to_json(path)
+    revived = Scenario.from_json(path)
+    assert revived.to_dict() == scenario.to_dict()
+    assert revived.traffic == "spiky"
+    assert revived.dp_boost == 1
+    assert revived.degradation is True
+    # Dict knobs revive into real dataclasses at build time.
+    deployment = revived.build(seed=1)
+    assert deployment.taichi.config.adaptive_threshold is False
+    assert deployment.dp_kind == "storage"
+    assert deployment.taichi.degradation is not None
+
+
+def test_build_arms_fault_injector_when_faults_present():
+    scenario = Scenario(arm="taichi", faults="probe_outage")
+    deployment = scenario.build(seed=2)
+    assert deployment.fault_injector is not None
+    plan = scenario.fault_plan(scale=0.5)
+    assert isinstance(plan, FaultPlan)
+    assert plan.faults
+
+
+def test_fault_plan_none_without_faults():
+    assert Scenario().fault_plan() is None
+
+
+def test_load_scenario_resolves_all_spellings(tmp_path):
+    assert load_scenario("baseline").arm == "baseline"
+    assert load_scenario({"arm": "naive"}).arm == "naive"
+    scenario = Scenario(arm="taichi-vdp")
+    assert load_scenario(scenario) is scenario
+    path = os.path.join(tmp_path, "s.json")
+    scenario.to_json(path)
+    assert load_scenario(path).arm == "taichi-vdp"
+    with pytest.raises(ValueError, match="expected an arm name"):
+        load_scenario("no-such-thing")
