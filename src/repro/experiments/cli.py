@@ -129,6 +129,25 @@ def main(argv=None):
     fleet_parser.add_argument("--check-invariants", action="store_true",
                               help="check causal invariants on every node; "
                                    "exit 1 on any violation")
+    fleet_parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                              help="write one interval snapshot series per "
+                                   "node plus merged.jsonl and "
+                                   "fleet.openmetrics")
+    fleet_parser.add_argument("--telemetry-interval-ms", type=float,
+                              default=None, metavar="MS",
+                              help="override the spec's snapshot cadence")
+    fleet_parser.add_argument("--raw-samples", action="store_true",
+                              help="ship raw per-node sample arrays instead "
+                                   "of mergeable quantile sketches (the "
+                                   "pre-sketch wire format)")
+
+    top_parser = sub.add_parser(
+        "top",
+        help="render a fleet health table (per-node tail latency, SLO "
+             "attainment, probe health, active alerts)")
+    top_parser.add_argument(
+        "source",
+        help="a fleet --telemetry-dir directory or a fleet --json report")
 
     args = parser.parse_args(argv)
 
@@ -216,9 +235,14 @@ def main(argv=None):
             spec = spec.with_seed(args.seed)
         if args.nodes is not None:
             spec = spec.subset(args.nodes)
+        if args.raw_samples:
+            spec.raw_samples = True
+        if args.telemetry_interval_ms is not None:
+            spec.telemetry_interval_ms = args.telemetry_interval_ms
         runner = FleetRunner(spec, jobs=args.jobs, scale=args.scale,
                              capture_dir=args.capture_dir,
-                             check_invariants=args.check_invariants)
+                             check_invariants=args.check_invariants,
+                             telemetry_dir=args.telemetry_dir)
         report = runner.run()
         print(format_fleet_text(report))
         if args.out:
@@ -229,9 +253,18 @@ def main(argv=None):
             print(f"wrote canonical fleet JSON to {args.json}")
         if args.capture_dir:
             print(f"wrote per-node captures to {args.capture_dir}/")
+        if args.telemetry_dir:
+            print(f"wrote per-node telemetry, merged.jsonl and "
+                  f"fleet.openmetrics to {args.telemetry_dir}/")
         if (args.check_invariants
                 and not report["aggregate"]["fleet"]["invariants_ok"]):
             return 1
+        return 0
+
+    if args.command == "top":
+        from repro.fleet.telemetry import render_top
+
+        print(render_top(args.source))
         return 0
 
     # Import here so `--help` stays fast.

@@ -35,6 +35,14 @@ from repro.fleet.report import (
     write_fleet_md,
 )
 from repro.fleet.runner import FleetRunner, run_fleet
+from repro.fleet.telemetry import (
+    fleet_health_rows,
+    load_fleet_telemetry,
+    load_merged_series,
+    merge_interval_series,
+    render_top,
+    write_fleet_telemetry,
+)
 from repro.fleet.spec import (
     FleetSpec,
     NodeSpec,
@@ -57,14 +65,20 @@ __all__ = [
     "canonical_report",
     "fleet_markdown",
     "format_fleet_text",
+    "fleet_health_rows",
     "load_fleet_spec",
+    "load_fleet_telemetry",
+    "load_merged_series",
+    "merge_interval_series",
     "node_seed",
     "pool_imap",
     "pool_map",
+    "render_top",
     "run_fleet",
     "run_node",
     "uniform_spec",
     "worst_nodes",
     "write_fleet_json",
+    "write_fleet_telemetry",
     "write_fleet_md",
 ]

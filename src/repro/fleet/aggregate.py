@@ -1,43 +1,78 @@
 """Merge per-node summaries into fleet-wide results.
 
-The merge works on *pooled raw samples*, not on per-node percentiles:
-averaging a p99 across nodes is not the fleet p99 (the tail of the worst
-node dominates), so every node summary ships its probe samples and the
-aggregator re-summarizes the pool.  SLO attainment pools the within/total
-counts the same way, which keeps the math exact even when nodes saw very
-different sample volumes.
+The merge never averages per-node percentiles: averaging a p99 across
+nodes is not the fleet p99 (the tail of the worst node dominates).  Two
+exact-in-their-own-terms paths exist:
 
-Three views come out of one pass:
+* **sketch path** (default) — every node ships mergeable
+  :class:`~repro.metrics.sketch.QuantileSketch` snapshots of its dp
+  rx-wait and VM-startup distributions; the aggregator merges them *in
+  spec order* (the float ``sum`` makes merge order observable) and
+  queries the merged sketch.  O(buckets) per node instead of O(samples),
+  which is what lets a pod-scale fleet aggregate without shipping raw
+  arrays; quantiles are within the sketch's relative-error bound
+  ``alpha`` of the pooled-raw order statistics.
+* **raw path** (``raw_samples`` fleets, and hand-built summaries) — the
+  historical pooled-raw-sample re-summarize, kept bit-for-bit so
+  existing callers see unchanged numbers.
 
-* ``fleet`` — the whole rack/pod as one distribution;
-* ``classes`` — the same aggregate per deployment class (Tai Chi vs.
-  static vs. ...), the Wave-style fleet-level comparison;
-* ``worst_nodes`` — who to page: the node with the worst DP p99 and the
-  node with the worst startup-SLO attainment (ties break on node_id so
-  reports stay deterministic).
+SLO attainment always pools exact within/total counts (nodes ship them
+as scalars), so attainment is exact on both paths.  Three views come out
+of one pass: ``fleet`` (whole rack/pod), ``classes`` (per deployment
+class — the Wave-style comparison), and ``worst_nodes`` (who to page;
+ties break on node_id so reports stay deterministic).
 """
 
 from repro.fleet.node import attainment_pct
+from repro.metrics.sketch import is_sketch_dict, merge_sketch_dicts
 from repro.metrics.stats import summarize
 
 _DP_QS = (50, 90, 99, 99.9)
 _STARTUP_QS = (50, 90, 99)
 
 
+def _sketch_block(nodes, key, qs):
+    """Merged-sketch summary block (or None if any node lacks the sketch)."""
+    dicts = [node.get(key) for node in nodes]
+    if not all(is_sketch_dict(data) for data in dicts):
+        return None
+    merged = merge_sketch_dicts(dicts)
+    block = merged.summary(qs=qs)
+    return block, merged.to_dict()
+
+
 def aggregate_nodes(nodes):
     """One aggregate block over a list of node summaries."""
-    dp_pool = [value for node in nodes for value in node["dp_samples_us"]]
+    dp_merged = _sketch_block(nodes, "dp_sketch", _DP_QS)
+    if dp_merged is not None:
+        dp_block, dp_sketch = dp_merged
+        dp_total = sum(node.get("dp_slo_total",
+                                len(node.get("dp_samples_us") or []))
+                       for node in nodes)
+    else:
+        dp_pool = [value for node in nodes
+                   for value in node.get("dp_samples_us") or []]
+        dp_block, dp_sketch = summarize(dp_pool, qs=_DP_QS), None
+        dp_total = len(dp_pool)
     dp_within = sum(node["dp_within_slo"] for node in nodes)
-    startup_pool = [value for node in nodes
-                    for value in node["startup_samples_ms"]]
+
+    startup_merged = _sketch_block(nodes, "startup_sketch", _STARTUP_QS)
+    if startup_merged is not None:
+        startup_block, startup_sketch = startup_merged
+    else:
+        startup_pool = [value for node in nodes
+                        for value in node.get("startup_samples_ms") or []]
+        startup_block, startup_sketch = (
+            summarize(startup_pool, qs=_STARTUP_QS), None)
     startup_within = sum(node["startup_within_slo"] for node in nodes)
     startup_total = sum(node["startup_slo_total"] for node in nodes)
-    return {
+
+    block = {
         "nodes": len(nodes),
         "node_ids": [node["node_id"] for node in nodes],
-        "dp_latency_us": summarize(dp_pool, qs=_DP_QS),
-        "dp_slo_attainment_pct": attainment_pct(dp_within, len(dp_pool)),
-        "startup_ms": summarize(startup_pool, qs=_STARTUP_QS),
+        "dp_latency_us": dp_block,
+        "dp_slo_attainment_pct": attainment_pct(dp_within, dp_total),
+        "startup_ms": startup_block,
         "startup_slo_attainment_pct": attainment_pct(startup_within,
                                                      startup_total),
         "vms_started": sum(node["vms_started"] for node in nodes),
@@ -47,6 +82,11 @@ def aggregate_nodes(nodes):
             sum(node["invariants"]["violations"] for node in nodes),
         "invariants_ok": all(node["invariants"]["ok"] for node in nodes),
     }
+    if dp_sketch is not None:
+        block["dp_sketch"] = dp_sketch
+    if startup_sketch is not None:
+        block["startup_sketch"] = startup_sketch
+    return block
 
 
 def worst_nodes(nodes):

@@ -15,6 +15,8 @@ state, no dependence on which worker ran it.  ``FleetRunner`` leans on
 this to produce byte-identical reports at any ``--jobs`` level.
 """
 
+import os
+
 # The canonical attainment helper lives in repro.metrics.stats; re-exported
 # because the aggregator and tests historically import it from here.
 from repro.fleet.spec import NodeSpec
@@ -34,11 +36,16 @@ def run_node(payload):
 
     Payload keys: ``node`` (NodeSpec dict), ``root_seed``,
     ``duration_ns``, ``drain_ns``, ``dp_slo_us``, ``fault_scale``,
-    ``capture_path`` (JSONL target or None), ``check_invariants``.
+    ``capture_path`` (JSONL target or None), ``check_invariants``,
+    ``raw_samples`` (ship raw sample arrays; when false — the fleet
+    default — the summary carries only the mergeable sketches and the
+    derived stats), ``telemetry_dir`` (per-node snapshot-series JSONL
+    target dir or None) and ``telemetry_interval_ms``.
     """
     node = NodeSpec.from_dict(payload["node"])
     capture_path = payload.get("capture_path")
     check_invariants = bool(payload.get("check_invariants", False))
+    telemetry = _telemetry_config(payload, node.node_id)
     with observe(trace=capture_path is not None,
                  check_invariants=check_invariants) as session:
         summary = run_soak(
@@ -49,6 +56,7 @@ def run_node(payload):
             dp_slo_us=float(payload["dp_slo_us"]),
             fault_scale=float(payload.get("fault_scale", 1.0)),
             label=node.node_id,
+            telemetry=telemetry,
         )
         if capture_path is not None:
             write_jsonl(capture_path, session.streams)
@@ -60,7 +68,27 @@ def run_node(payload):
         "violations": len(violations),
         "ok": not violations,
     }
+    if not payload.get("raw_samples", True):
+        # The sketches carry the distributions; the arrays are the O(n)
+        # payload the streaming pipeline exists to avoid shipping.
+        del summary["dp_samples_us"]
+        del summary["startup_samples_ms"]
     return summary
+
+
+def _telemetry_config(payload, node_id):
+    """Build the node's TelemetryConfig from its payload (or None)."""
+    telemetry_dir = payload.get("telemetry_dir")
+    if not telemetry_dir:
+        return None
+    from repro.obs.telemetry import TelemetryConfig
+
+    return TelemetryConfig(
+        interval_ms=float(payload.get("telemetry_interval_ms", 10.0)),
+        jsonl_path=os.path.join(telemetry_dir,
+                                f"{node_id}.telemetry.jsonl"),
+        node_id=node_id,
+    )
 
 
 def _deterministic_metrics(registry):

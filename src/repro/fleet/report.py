@@ -12,8 +12,28 @@ from repro.experiments.report import format_table
 
 
 def canonical_report(report):
-    """The deterministic subset of a runner report (no wall-clock)."""
-    return {key: value for key, value in report.items() if key != "timing"}
+    """The deterministic subset of a runner report.
+
+    Strips wall-clock (``timing``) and host-path fields (capture and
+    telemetry file locations): two runs of the same spec and seed are
+    byte-identical here even when they wrote their sidecar files to
+    different directories.
+    """
+    out = {key: value for key, value in report.items()
+           if key not in ("timing", "telemetry_dir")}
+    nodes = []
+    for node in out.get("nodes", []):
+        node = {key: value for key, value in node.items()
+                if key != "capture_path"}
+        telemetry = node.get("telemetry")
+        if isinstance(telemetry, dict) and "path" in telemetry:
+            node["telemetry"] = {key: value
+                                 for key, value in telemetry.items()
+                                 if key != "path"}
+        nodes.append(node)
+    if nodes:
+        out["nodes"] = nodes
+    return out
 
 
 def _node_rows(nodes):

@@ -33,7 +33,7 @@ class FleetRunner:
     """Run a :class:`~repro.fleet.spec.FleetSpec` at a given parallelism."""
 
     def __init__(self, spec, jobs=1, scale=1.0, capture_dir=None,
-                 check_invariants=False):
+                 check_invariants=False, telemetry_dir=None):
         if scale <= 0:
             raise ValueError("scale must be positive")
         self.spec = spec
@@ -41,6 +41,7 @@ class FleetRunner:
         self.scale = float(scale)
         self.capture_dir = capture_dir
         self.check_invariants = bool(check_invariants)
+        self.telemetry_dir = telemetry_dir
 
     def payloads(self):
         """One picklable work unit per node, in spec order."""
@@ -51,6 +52,8 @@ class FleetRunner:
                     if self.spec.drain_ms else 0)
         if self.capture_dir:
             os.makedirs(self.capture_dir, exist_ok=True)
+        if self.telemetry_dir:
+            os.makedirs(self.telemetry_dir, exist_ok=True)
         out = []
         for node in self.spec.nodes:
             capture_path = (
@@ -65,6 +68,9 @@ class FleetRunner:
                 "fault_scale": self.scale,
                 "capture_path": capture_path,
                 "check_invariants": self.check_invariants,
+                "raw_samples": self.spec.raw_samples,
+                "telemetry_dir": self.telemetry_dir,
+                "telemetry_interval_ms": self.spec.telemetry_interval_ms,
             })
         return out
 
@@ -80,11 +86,17 @@ class FleetRunner:
             "aggregate": aggregate_fleet(nodes),
             "timing": {"wall_s": wall_s, "jobs": self.jobs},
         }
+        if self.telemetry_dir:
+            from repro.fleet.telemetry import write_fleet_telemetry
+
+            write_fleet_telemetry(self.telemetry_dir, report)
+            report["telemetry_dir"] = self.telemetry_dir
         return report
 
 
 def run_fleet(spec, jobs=1, scale=1.0, capture_dir=None,
-              check_invariants=False):
+              check_invariants=False, telemetry_dir=None):
     """One-call convenience used by the CLI and the scale-out experiment."""
     return FleetRunner(spec, jobs=jobs, scale=scale, capture_dir=capture_dir,
-                       check_invariants=check_invariants).run()
+                       check_invariants=check_invariants,
+                       telemetry_dir=telemetry_dir).run()

@@ -124,6 +124,11 @@ class FleetSpec:
     scales both); ``dp_slo_us`` is the fleet-wide data-plane latency SLO
     each probe sample is scored against.  The VM-startup SLO lives with
     each node's device manager, as in the single-board experiments.
+
+    ``raw_samples`` makes every node ship its raw probe/startup sample
+    arrays (the pre-sketch wire format) instead of mergeable quantile
+    sketches; ``telemetry_interval_ms`` is the per-node snapshot cadence
+    when the runner is given a telemetry directory.
     """
 
     name: str
@@ -132,6 +137,8 @@ class FleetSpec:
     duration_ms: float = 400.0
     drain_ms: float = 200.0
     dp_slo_us: float = 300.0
+    raw_samples: bool = False
+    telemetry_interval_ms: float = 10.0
 
     def __post_init__(self):
         if not isinstance(self.name, str) or not self.name:
@@ -154,6 +161,9 @@ class FleetSpec:
             raise ValueError("drain_ms must be >= 0")
         if self.dp_slo_us <= 0:
             raise ValueError("dp_slo_us must be positive")
+        self.raw_samples = bool(self.raw_samples)
+        if self.telemetry_interval_ms <= 0:
+            raise ValueError("telemetry_interval_ms must be positive")
 
     def with_seed(self, seed):
         """A copy rooted at a different seed (CLI ``--seed`` override)."""
@@ -168,7 +178,7 @@ class FleetSpec:
         return replace(self, nodes=list(self.nodes[:n_nodes]))
 
     def to_dict(self):
-        return {
+        data = {
             "name": self.name,
             "seed": self.seed,
             "duration_ms": self.duration_ms,
@@ -176,6 +186,11 @@ class FleetSpec:
             "dp_slo_us": self.dp_slo_us,
             "nodes": [node.to_dict() for node in self.nodes],
         }
+        if self.raw_samples:
+            data["raw_samples"] = True
+        if self.telemetry_interval_ms != 10.0:
+            data["telemetry_interval_ms"] = self.telemetry_interval_ms
+        return data
 
     def to_json(self, path):
         with open(path, "w") as handle:

@@ -14,12 +14,24 @@ from repro.metrics.stats import (
     summarize,
 )
 from repro.metrics.schedviz import occupancy_spans, render_gantt
+from repro.metrics.sketch import (
+    CounterSample,
+    GaugeSample,
+    QuantileSketch,
+    is_sketch_dict,
+    merge_sketch_dicts,
+)
 from repro.metrics.timeline import Timeline, TimelineEvent
 
 __all__ = [
     "occupancy_spans",
     "render_gantt",
     "Cdf",
+    "CounterSample",
+    "GaugeSample",
+    "QuantileSketch",
+    "is_sketch_dict",
+    "merge_sketch_dicts",
     "Histogram",
     "LatencyRecorder",
     "RateMeter",

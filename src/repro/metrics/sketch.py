@@ -1,0 +1,290 @@
+"""Mergeable quantile sketches and O(1) telemetry snapshot types.
+
+The fleet's streaming-aggregation story (ROADMAP item 4) needs per-node
+telemetry whose size does not grow with sample count.  A
+:class:`QuantileSketch` is a DDSketch-style relative-error quantile
+summary: values land in logarithmic buckets with a fixed layout derived
+from the accuracy parameter ``alpha``, so two sketches built with the
+same ``alpha`` merge by adding bucket counts — exactly associative and
+commutative on the counts, which is what lets a 1k-node fleet pool
+latency distributions without shipping raw sample arrays.
+
+**Accuracy contract.** For a stream of non-negative values,
+:meth:`QuantileSketch.percentile` returns an estimate within relative
+error ``alpha`` of the *lower order statistic* at that rank — the value
+``sorted(values)[floor(q / 100 * (n - 1))]``:
+
+    ``|estimate - x_rank| <= alpha * x_rank``
+
+(Linear-interpolating summaries like :func:`repro.metrics.stats.percentile`
+may report a value between two order statistics; on gappy distributions
+the interpolated value can sit between the statistic the sketch tracks
+and its upper neighbor, so comparisons against interpolated percentiles
+must bracket with the neighboring order statistics.)
+
+**Determinism contract.**  The bucket layout is a pure function of
+``alpha``; adding the same values in the same order produces the same
+``sum`` float, and :meth:`to_json` serializes buckets in sorted index
+order with sorted keys — so a sketch's JSON is byte-stable across
+processes and round-trips losslessly (:meth:`from_dict` of
+:meth:`to_dict` compares equal and re-serializes identically).  Fleet
+aggregation relies on this: sketches merged in spec order yield
+byte-identical reports at any ``--jobs`` level.
+
+:class:`CounterSample` and :class:`GaugeSample` are the matching O(1)
+snapshot types for the other two instrument families; one telemetry
+interval is a bag of these plus sketch deltas.
+"""
+
+import json
+import math
+from dataclasses import dataclass
+
+#: Default relative-error bound; 1% keeps a microsecond-scale latency
+#: distribution in a few hundred sparse buckets.
+DEFAULT_ALPHA = 0.01
+
+#: Values at or below this are exact zeros (they get their own bucket —
+#: log-buckets cannot represent 0).
+_MIN_TRACKABLE = 1e-9
+
+
+class QuantileSketch:
+    """A mergeable, relative-error-bounded quantile sketch.
+
+    Pure python, no numpy: the hot path is one ``math.log``, one
+    ``ceil`` and one dict increment per sample.  Buckets are sparse
+    (only indices that saw samples exist), so memory is proportional to
+    the distribution's dynamic range in ``log(gamma)`` steps, not to the
+    sample count.
+    """
+
+    __slots__ = ("alpha", "_gamma", "_log_gamma", "count", "zero_count",
+                 "sum", "min", "max", "buckets")
+
+    def __init__(self, alpha=DEFAULT_ALPHA):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = float(alpha)
+        self._gamma = (1.0 + self.alpha) / (1.0 - self.alpha)
+        self._log_gamma = math.log(self._gamma)
+        self.count = 0
+        self.zero_count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self.buckets = {}          # bucket index -> sample count
+
+    # -- Recording ---------------------------------------------------------------
+
+    def add(self, value, count=1):
+        """Record ``value`` (non-negative) ``count`` times."""
+        value = float(value)
+        if value < 0.0:
+            raise ValueError(
+                f"QuantileSketch tracks non-negative values, got {value}")
+        count = int(count)
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.count += count
+        self.sum += value * count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= _MIN_TRACKABLE:
+            self.zero_count += count
+            return
+        index = math.ceil(math.log(value) / self._log_gamma)
+        self.buckets[index] = self.buckets.get(index, 0) + count
+
+    def extend(self, values):
+        for value in values:
+            self.add(value)
+        return self
+
+    # -- Merging -----------------------------------------------------------------
+
+    def merge(self, other):
+        """Fold ``other`` into this sketch (same ``alpha`` required).
+
+        Bucket counts add, so merging is associative and commutative on
+        everything except the float ``sum`` (addition order); callers
+        that need byte-identical results merge in a canonical order (the
+        fleet aggregator uses spec order).
+        """
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(f"cannot merge {type(other).__name__}")
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketches with different alpha "
+                f"({self.alpha} vs {other.alpha})")
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.zero_count += other.zero_count
+        self.sum += other.sum
+        if self.min is None or (other.min is not None and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None and other.max > self.max):
+            self.max = other.max
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        return self
+
+    @classmethod
+    def merged(cls, sketches, alpha=None):
+        """A fresh sketch folding ``sketches`` in iteration order."""
+        sketches = list(sketches)
+        if alpha is None:
+            alpha = sketches[0].alpha if sketches else DEFAULT_ALPHA
+        out = cls(alpha=alpha)
+        for sketch in sketches:
+            out.merge(sketch)
+        return out
+
+    # -- Queries -----------------------------------------------------------------
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def _bucket_value(self, index):
+        """Midpoint estimate for bucket ``index`` — guarantees the
+        relative-error bound ``alpha`` for any value the bucket covers."""
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def percentile(self, q):
+        """Estimate percentile ``q`` (0-100); ``None`` on an empty sketch."""
+        if self.count == 0:
+            return None
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        rank = q / 100.0 * (self.count - 1)
+        cum = self.zero_count
+        if cum > rank:
+            return 0.0
+        value = self.max
+        for index in sorted(self.buckets):
+            cum += self.buckets[index]
+            if cum > rank:
+                value = self._bucket_value(index)
+                break
+        # min/max are tracked exactly; never report outside them.
+        return min(max(value, self.min), self.max)
+
+    def percentiles(self, qs=(50, 90, 99)):
+        """Labeled percentile dict (``{"p50": ..., ...}``); empty -> Nones."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+    def summary(self, qs=(50, 90, 99)):
+        """``summarize``-shaped block: count/min/mean/max + percentiles.
+
+        Empty sketches yield ``{"count": 0}`` so report renderers can
+        emit sections unconditionally (no empty-sequence footguns).
+        """
+        if self.count == 0:
+            return {"count": 0}
+        block = {
+            "count": self.count,
+            "min": self.min,
+            "mean": self.mean,
+            "max": self.max,
+        }
+        block.update(self.percentiles(qs))
+        return block
+
+    # -- JSON round-trip ----------------------------------------------------------
+
+    def to_dict(self):
+        """Plain-data form; bucket list sorted by index for byte stability."""
+        return {
+            "type": "ddsketch",
+            "alpha": self.alpha,
+            "count": self.count,
+            "zero_count": self.zero_count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [[index, self.buckets[index]]
+                        for index in sorted(self.buckets)],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("type") != "ddsketch":
+            raise ValueError(
+                f"not a serialized QuantileSketch: type={data.get('type')!r}")
+        sketch = cls(alpha=data["alpha"])
+        sketch.count = int(data["count"])
+        sketch.zero_count = int(data["zero_count"])
+        sketch.sum = float(data["sum"])
+        sketch.min = None if data["min"] is None else float(data["min"])
+        sketch.max = None if data["max"] is None else float(data["max"])
+        sketch.buckets = {int(index): int(count)
+                          for index, count in data["buckets"]}
+        return sketch
+
+    def to_json(self):
+        """Canonical JSON text (sorted keys); byte-stable across processes."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def __eq__(self, other):
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self):
+        return (f"<QuantileSketch alpha={self.alpha} n={self.count} "
+                f"buckets={len(self.buckets)}>")
+
+
+def is_sketch_dict(data):
+    """True if ``data`` looks like a serialized :class:`QuantileSketch`."""
+    return isinstance(data, dict) and data.get("type") == "ddsketch"
+
+
+def merge_sketch_dicts(dicts, alpha=None):
+    """Merge serialized sketches in iteration order; returns a sketch.
+
+    The fleet aggregator's entry point: per-node summaries carry sketch
+    dicts, and merging them in spec order preserves the byte-identical
+    determinism contract.
+    """
+    return QuantileSketch.merged(
+        (QuantileSketch.from_dict(data) for data in dicts), alpha=alpha)
+
+
+# -- Interval snapshot types ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One counter at one telemetry interval: running total + delta."""
+
+    name: str
+    total: int
+    delta: int
+
+    def to_dict(self):
+        return {"total": self.total, "delta": self.delta}
+
+    @classmethod
+    def from_dict(cls, name, data):
+        return cls(name=name, total=int(data["total"]),
+                   delta=int(data["delta"]))
+
+
+@dataclass(frozen=True)
+class GaugeSample:
+    """One gauge reading at one telemetry interval (last-write-wins)."""
+
+    name: str
+    value: float
+
+    def to_dict(self):
+        return self.value
+
+    @classmethod
+    def from_dict(cls, name, value):
+        return cls(name=name, value=value)

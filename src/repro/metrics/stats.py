@@ -5,22 +5,39 @@ import math
 import numpy as np
 
 
-def percentile(values, q):
-    """Percentile ``q`` (0-100) of ``values`` using linear interpolation."""
+#: Sentinel distinguishing "no default supplied" from ``default=None``.
+_RAISE = object()
+
+
+def percentile(values, q, default=_RAISE):
+    """Percentile ``q`` (0-100) of ``values`` using linear interpolation.
+
+    An empty sequence raises ``ValueError`` unless ``default`` is given,
+    in which case it is returned instead — aggregation paths that may
+    legitimately see zero samples (e.g. a fleet class with no startups
+    in a window) pass ``default=None`` and render a null rather than
+    crash.
+    """
     if len(values) == 0:
-        raise ValueError("percentile of empty sequence")
+        if default is _RAISE:
+            raise ValueError("percentile of empty sequence")
+        return default
     return float(np.percentile(np.asarray(values, dtype=float), q))
 
 
-def percentiles(values, qs=(50, 90, 99)):
+def percentiles(values, qs=(50, 90, 99), default=_RAISE):
     """Several percentiles in one sort: ``{"p50": ..., "p90": ..., ...}``.
 
     ``qs`` entries are 0-100 percentile ranks; fractional ranks render
-    without a trailing zero (99.9 -> ``"p99.9"``).
+    without a trailing zero (99.9 -> ``"p99.9"``).  An empty sequence
+    raises unless ``default`` is given, in which case every label maps
+    to it (``percentiles([], default=None) -> {"p50": None, ...}``).
     """
     data = np.asarray(list(values), dtype=float)
     if data.size == 0:
-        raise ValueError("percentiles of empty sequence")
+        if default is _RAISE:
+            raise ValueError("percentiles of empty sequence")
+        return {f"p{q:g}": default for q in qs}
     results = np.percentile(data, list(qs))
     return {f"p{q:g}": float(value) for q, value in zip(qs, results)}
 
@@ -183,8 +200,8 @@ class LatencyRecorder:
             return 0.0
         return self._abs_dev_sum / self.stats.count
 
-    def percentile(self, q):
-        return percentile(self.samples, q)
+    def percentile(self, q, default=_RAISE):
+        return percentile(self.samples, q, default=default)
 
     def p50(self):
         return self.percentile(50)

@@ -19,6 +19,12 @@ Typical use from the experiments harness::
 See ``docs/observability.md`` for the event taxonomy and formats.
 """
 
+from repro.obs.alerts import (
+    DEFAULT_ALERT_RULES,
+    AlertRule,
+    SLOMonitor,
+    normalize_alert_rules,
+)
 from repro.obs.analysis import (
     analyze_capture,
     analyze_events,
@@ -47,15 +53,34 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.session import ObservabilitySession, current, observe
+from repro.obs.telemetry import (
+    RingSeries,
+    TelemetryBus,
+    TelemetryConfig,
+    TelemetryJsonlWriter,
+    TelemetrySnapshot,
+    load_telemetry_jsonl,
+    openmetrics_text,
+    parse_openmetrics,
+    snapshot_openmetrics,
+)
 from repro.obs.tracer import Tracer
 
 __all__ = [
+    "AlertRule",
     "Counter",
+    "DEFAULT_ALERT_RULES",
     "Gauge",
     "HistogramMetric",
     "InvariantEngine",
     "MetricsRegistry",
     "ObservabilitySession",
+    "RingSeries",
+    "SLOMonitor",
+    "TelemetryBus",
+    "TelemetryConfig",
+    "TelemetryJsonlWriter",
+    "TelemetrySnapshot",
     "Tracer",
     "Violation",
     "analyze_capture",
@@ -68,7 +93,12 @@ __all__ = [
     "format_analysis",
     "format_metrics",
     "load_jsonl",
+    "load_telemetry_jsonl",
+    "normalize_alert_rules",
     "observe",
+    "openmetrics_text",
+    "parse_openmetrics",
+    "snapshot_openmetrics",
     "write_analysis_json",
     "write_chrome_trace",
     "write_jsonl",

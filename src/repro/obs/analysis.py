@@ -48,8 +48,14 @@ def load_jsonl(path):
             if key not in streams:
                 streams[key] = {"events": [], "meta": {}}
                 order.append(key)
-            if obj.get("kind") == "trace_meta":
+            if obj.get("kind") in ("trace_meta", "telemetry_meta"):
                 streams[key]["meta"] = obj.get("args", {})
+                continue
+            if obj.get("kind") == "telemetry":
+                # Telemetry snapshot series interleave with trace captures
+                # in the same dir; the event profiler skips them (use
+                # repro.obs.telemetry.load_telemetry_jsonl to read them)
+                # but their meta line still feeds the drop warnings.
                 continue
             streams[key]["events"].append(TimelineEvent(
                 int(obj["ts_ns"]), obj.get("cpu"), obj["kind"],
@@ -87,6 +93,9 @@ def analyze_events(events, dropped=0):
     ipi_drop_credit = Counter()  # fault drops traced before their send
 
     dp_yields = Counter()      # service -> yields
+
+    alerts_raised = Counter()  # alert name -> raise count
+    alerts_cleared = 0
 
     faults_by_kind = Counter()
     faults_cleared = 0
@@ -168,6 +177,10 @@ def analyze_events(events, dropped=0):
                 ipi_drop_credit[key] += 1
         elif kind == "dp_idle_yield":
             dp_yields[event.detail.get("service")] += 1
+        elif kind == "alert.raised":
+            alerts_raised[event.detail.get("alert", "?")] += 1
+        elif kind == "alert.cleared":
+            alerts_cleared += 1
         elif kind == "fault.injected":
             faults_by_kind[event.detail.get("fault_kind", "?")] += 1
         elif kind == "fault.cleared":
@@ -245,6 +258,11 @@ def analyze_events(events, dropped=0):
             "by_service": dict(sorted(
                 dp_yields.items(), key=lambda i: str(i[0]))),
         },
+        "alerts": {
+            "raised": sum(alerts_raised.values()),
+            "cleared": alerts_cleared,
+            "by_alert": dict(sorted(alerts_raised.items())),
+        },
         "faults": {
             "injected": sum(faults_by_kind.values()),
             "cleared": faults_cleared,
@@ -296,10 +314,16 @@ def analyze_streams(streams, check_invariants=True, checkers=None):
         reports[label] = analyze_events(events, dropped=dropped)
         if dropped:
             mode = meta.get("mode", "ring")
-            warnings.append(
-                f"stream {label!r}: {dropped} events dropped ({mode} mode) — "
-                "the profile covers a truncated stream and pairing "
-                "violations may be capture artifacts")
+            if meta.get("stream_type") == "telemetry" or "snapshots" in meta:
+                warnings.append(
+                    f"stream {label!r}: {dropped} telemetry snapshots "
+                    f"dropped ({mode} mode) — the series is truncated and "
+                    "interval-derived rates understate the full run")
+            else:
+                warnings.append(
+                    f"stream {label!r}: {dropped} events dropped ({mode} "
+                    "mode) — the profile covers a truncated stream and "
+                    "pairing violations may be capture artifacts")
         if check_invariants:
             violations.extend(
                 (label, violation)
@@ -385,6 +409,13 @@ def format_stream_report(label, report):
         rendered = ", ".join(f"{service}={count}"
                              for service, count in dp["by_service"].items())
         lines.append(f"  dp idle yields: {dp['total']} ({rendered})")
+
+    alerts = report.get("alerts", {})
+    if alerts.get("raised"):
+        rendered = ", ".join(f"{name}={count}"
+                             for name, count in alerts["by_alert"].items())
+        lines.append(f"  alerts: {alerts['raised']} raised / "
+                     f"{alerts['cleared']} cleared ({rendered})")
 
     faults = report.get("faults", {})
     if faults.get("injected") or faults.get("handled"):

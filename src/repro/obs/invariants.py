@@ -395,6 +395,51 @@ class FaultRecoveryChecker(InvariantChecker):
         return out
 
 
+class AlertPairingChecker(InvariantChecker):
+    """``alert.raised`` / ``alert.cleared`` must pair per alert name.
+
+    The SLO monitor's hysteresis state machine guarantees one active
+    firing per rule: a second raise without an intervening clear means
+    the monitor's bookkeeping broke, and a clear with no open raise is a
+    corrupt stream.  Alerts still active at stream end are legal (the
+    run ended mid-incident), mirroring :class:`FaultRecoveryChecker`.
+    """
+
+    name = "alert_pairing"
+
+    def __init__(self):
+        self._open = {}        # (node, alert name) -> alert.raised event
+
+    @staticmethod
+    def _key(event):
+        return (event.detail.get("node"), event.detail.get("alert"))
+
+    def observe(self, event):
+        if event.kind == "alert.raised":
+            key = self._key(event)
+            stale = self._open.get(key)
+            self._open[key] = event
+            if stale is not None:
+                return [Violation(
+                    self.name,
+                    f"alert {key[1]!r} raised twice without an "
+                    f"intervening clear",
+                    event,
+                    context=(stale,),
+                )]
+            return ()
+        if event.kind != "alert.cleared":
+            return ()
+        key = self._key(event)
+        if self._open.pop(key, None) is None:
+            return [Violation(
+                self.name,
+                f"alert {key[1]!r} cleared but never raised",
+                event,
+            )]
+        return ()
+
+
 DEFAULT_CHECKERS = (
     MonotonicTimestamps,
     IpiDeliveryBound,
@@ -403,6 +448,7 @@ DEFAULT_CHECKERS = (
     IdleYieldThreshold,
     RunQueueDepthConsistency,
     FaultRecoveryChecker,
+    AlertPairingChecker,
 )
 
 

@@ -146,6 +146,19 @@ class MetricsRegistry:
 
     # -- Collection --------------------------------------------------------------
 
+    def counter_values(self):
+        """``{name: value}`` for every counter — no sources invoked.
+
+        The telemetry bus samples this every interval: unlike
+        :meth:`snapshot` it never calls source functions (which may carry
+        wall-clock fields), so it is cheap and fully deterministic.
+        """
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauge_values(self):
+        """``{name: value}`` for every gauge — no sources invoked."""
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
     def snapshot(self):
         """One nested dict with every instrument value and source dump."""
         return {

@@ -17,7 +17,8 @@ so renaming them would silently re-draw every published fleet number.
 
 from repro.hw.host import HostNode, VMSpec
 from repro.hw.packet import IORequest, PacketKind
-from repro.metrics import LatencyRecorder
+from repro.metrics import LatencyRecorder, QuantileSketch
+from repro.metrics.sketch import DEFAULT_ALPHA
 from repro.metrics.stats import attainment_pct, summarize
 from repro.sim.units import MICROSECONDS, MILLISECONDS
 
@@ -35,12 +36,24 @@ _NOMINAL_DP_SERVICES = 8
 
 def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
              drain_ns=200 * MILLISECONDS, dp_slo_us=300.0, fault_scale=1.0,
-             label="node"):
+             label="node", telemetry=None):
     """Soak one scenario and return its picklable summary dict.
 
     ``fault_scale`` compresses the scenario's fault plan alongside a
     scaled duration; ``label`` names the board in the summary and its
     probe recorder (the fleet runner passes the node id).
+
+    ``telemetry`` is an optional
+    :class:`~repro.obs.telemetry.TelemetryConfig`: when set (or when the
+    scenario declares ``alerts``, which arms a default config), a
+    :class:`~repro.obs.telemetry.TelemetryBus` samples the run on
+    sim-time intervals — counter deltas, health gauges (run-queue depth,
+    grant occupancy, probe health, running SLO attainment), and sketch
+    deltas for dp rx-wait and VM-startup latency — and an
+    :class:`~repro.obs.alerts.SLOMonitor` evaluates the scenario's alert
+    rules against each snapshot.  Telemetry never changes the simulated
+    schedule (ticks only read state), and the summary's quantile
+    sketches accumulate identically with the bus on or off.
     """
     from repro.scenario.spec import TRAFFIC_PROFILES
     from repro.workloads.background import (
@@ -64,15 +77,67 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
 
     probe_latency = LatencyRecorder(name=f"{label}-probe", cap=_SAMPLE_CAP)
 
+    # Streaming telemetry (optional).  Scenario-declared alert rules
+    # imply a bus even when the driver didn't ask for one, so SLO
+    # monitoring is purely declarative.
+    if telemetry is None and scenario.alerts is not None:
+        from repro.obs.telemetry import TelemetryConfig
+
+        telemetry = TelemetryConfig(node_id=label)
+    alpha = telemetry.alpha if telemetry else DEFAULT_ALPHA
+    bus = None
+    ring = None
+    monitor = None
+    jsonl_writer = None
+    if telemetry is not None:
+        from repro.obs.alerts import SLOMonitor
+        from repro.obs.telemetry import (
+            RingSeries, TelemetryBus, TelemetryJsonlWriter,
+        )
+
+        node_id = telemetry.node_id if telemetry.node_id != "node" else label
+        bus = TelemetryBus(registry=env.metrics,
+                           interval_ns=telemetry.interval_ns,
+                           node_id=node_id, alpha=alpha)
+        rules = scenario.alerts if scenario.alerts is not None \
+            else telemetry.alerts
+        if rules is not None:
+            # The monitor subscribes first so exported snapshots carry
+            # the interval's active alerts.
+            monitor = bus.subscribe(SLOMonitor(
+                rules=rules, tracer=env.tracer, node_id=node_id))
+        ring = bus.subscribe(RingSeries(cap=telemetry.ring_cap))
+        if telemetry.jsonl_path:
+            jsonl_writer = bus.subscribe(TelemetryJsonlWriter(
+                telemetry.jsonl_path, cap=telemetry.jsonl_cap,
+                node_id=node_id))
+
+    # The dp rx-wait sketch accumulates on every probe completion whether
+    # or not a bus drains interval deltas from it — the summary's sketch
+    # is the same object either way.
+    dp_channel = (bus.channel("dp_rx_wait_us") if bus is not None else None)
+    dp_sketch = dp_channel.cumulative if dp_channel is not None \
+        else QuantileSketch(alpha)
+    dp_within_running = [0]
+
+    def record_probe(event):
+        latency_ns = event.value.total_latency_ns
+        probe_latency.record(latency_ns)
+        latency_us = latency_ns / MICROSECONDS
+        if latency_us <= dp_slo_us:
+            dp_within_running[0] += 1
+        if dp_channel is not None:
+            dp_channel.observe(latency_us)
+        else:
+            dp_sketch.add(latency_us)
+
     def latency_probe():
         rng = deployment.rng.stream("fleet-probe")
         period_ns = mix.probe_period_us * MICROSECONDS
         while True:
             queue = int(rng.integers(0, 8))
             done = env.event()
-            done.callbacks.append(
-                lambda event: probe_latency.record(
-                    event.value.total_latency_ns))
+            done.callbacks.append(record_probe)
             board.accelerator.submit(IORequest(
                 PacketKind.NET_TX, 64, ("net", queue, 0),
                 service_ns=1_500, done=done))
@@ -90,9 +155,19 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
                 host.create_vm(VMSpec(n_vblks=mix.vm_vblks))
 
     env.process(storm_source(), name="storm-source")
+
+    slo_ns = host.manager.params.startup_slo_ns
+    slo_ms = slo_ns / MILLISECONDS
+    if bus is not None:
+        _wire_bus_gauges(bus, deployment, host, probe_latency,
+                         dp_within_running, slo_ns)
+        bus.attach(env)
+
     deployment.run(env.now + duration_ns)
     # Drain: give in-flight startups a grace window.
     deployment.run(env.now + drain_ns)
+    if bus is not None:
+        bus.close(env.now)
 
     dp_samples_us = [value / MICROSECONDS for value in probe_latency.samples]
     dp_within = sum(1 for value in dp_samples_us if value <= dp_slo_us)
@@ -100,8 +175,6 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
     startups_ms = sorted(
         vm.startup_time_ns() / MILLISECONDS for vm in host.vms
         if vm.startup_time_ns() is not None)
-    slo_ns = host.manager.params.startup_slo_ns
-    slo_ms = slo_ns / MILLISECONDS
     startup_within = sum(1 for value in startups_ms if value <= slo_ms)
     # A startup still pending past the SLO is a violation even though it
     # never produced a sample — a saturated control plane must not score
@@ -112,6 +185,12 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
         if vm.startup_time_ns() is None
         and env.now - vm.request.t_issued > slo_ns)
     startup_total = len(startups_ms) + overdue_pending
+
+    # Sketches the fleet ships in place of raw sample arrays.  The
+    # startup sketch is rebuilt from the *sorted* samples so its float
+    # ``sum`` is independent of VM completion order (and of whether a
+    # telemetry bus also streamed the same values as interval deltas).
+    startup_sketch = QuantileSketch(alpha).extend(startups_ms)
 
     injector = deployment.fault_injector
     summary = {
@@ -140,5 +219,75 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
             "injected": injector.injected if injector else 0,
             "cleared": injector.cleared if injector else 0,
         },
+        "dp_sketch": dp_sketch.to_dict(),
+        "dp_slo_total": len(dp_samples_us),
+        "startup_sketch": startup_sketch.to_dict(),
     }
+    if bus is not None:
+        summary["telemetry"] = {
+            "intervals": bus.snapshots_emitted,
+            "interval_ms": telemetry.interval_ms,
+            "path": telemetry.jsonl_path,
+            "ring_retained": len(ring),
+            "alerts": monitor.summary() if monitor is not None else None,
+        }
+        if jsonl_writer is not None:
+            summary["telemetry"]["path"] = jsonl_writer.finish()
     return summary
+
+
+def _wire_bus_gauges(bus, deployment, host, probe_latency, dp_within_running,
+                     slo_ns):
+    """Register board-health gauges and the VM-startup collector.
+
+    Everything here *reads* simulation state — gauges and collectors
+    must never mutate the schedule, or telemetry-on runs would diverge
+    from telemetry-off runs.
+    """
+    env = deployment.env
+    kernel = deployment.board.kernel
+    taichi = deployment.taichi
+
+    bus.add_gauge("rq_depth", lambda: sum(
+        len(cpu.runqueue) for cpu in kernel.cpus.values()))
+    if taichi is not None:
+        scheduler = taichi.scheduler
+        bus.add_gauge("grant_occupancy", lambda: sum(
+            1 for grant in scheduler.active.values() if grant.active))
+        bus.add_gauge("probe_health",
+                      lambda: 0.0 if scheduler.probe_degraded else 1.0)
+    else:
+        # Baselines have no probe to lose; report steady health so the
+        # same alert rules apply across arms.
+        bus.add_gauge("probe_health", lambda: 1.0)
+    bus.add_gauge("dp_slo_attainment_pct", lambda: attainment_pct(
+        dp_within_running[0], probe_latency.count))
+
+    startup_channel = bus.channel("vm_startup_ms")
+    seen = set()
+    startup_state = {"within": 0, "completed": 0}
+
+    def collect_startups(now_ns):
+        for vm in host.vms:
+            if id(vm) in seen:
+                continue
+            startup_ns = vm.startup_time_ns()
+            if startup_ns is None:
+                continue
+            seen.add(id(vm))
+            startup_channel.observe(startup_ns / MILLISECONDS)
+            startup_state["completed"] += 1
+            if startup_ns <= slo_ns:
+                startup_state["within"] += 1
+
+    bus.add_collector(collect_startups)
+
+    def startup_attainment():
+        overdue = sum(
+            1 for vm in host.vms
+            if vm.startup_time_ns() is None
+            and env.now - vm.request.t_issued > slo_ns)
+        return attainment_pct(startup_state["within"],
+                              startup_state["completed"] + overdue)
+
+    bus.add_gauge("startup_slo_attainment_pct", startup_attainment)

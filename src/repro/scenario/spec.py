@@ -88,7 +88,9 @@ class Scenario:
     ``faults`` is a preset name, a FaultPlan dict, or a
     :class:`FaultPlan`; drivers scale it alongside their duration.
     ``check_invariants``/``trace`` are observability defaults a driver
-    may honor when the caller doesn't override them.
+    may honor when the caller doesn't override them.  ``alerts`` is a
+    list of :class:`~repro.obs.alerts.AlertRule` dicts (SLO rules as
+    data) that arm an SLO monitor on the soak driver's telemetry bus.
     """
 
     arm: str = "taichi"
@@ -100,6 +102,7 @@ class Scenario:
     faults: object = None
     check_invariants: bool = False
     trace: bool = False
+    alerts: list = None
 
     def __post_init__(self):
         if not isinstance(self.arm, str) or not is_arm(self.arm):
@@ -139,6 +142,14 @@ class Scenario:
             raise ValueError(
                 "faults must be a preset name, a FaultPlan dict, or a "
                 f"FaultPlan, got {type(self.faults).__name__}")
+        if self.alerts is not None:
+            from repro.obs.alerts import normalize_alert_rules
+
+            if not isinstance(self.alerts, (list, tuple)):
+                raise ValueError(
+                    f"alerts must be a list of rule dicts, got "
+                    f"{type(self.alerts).__name__}")
+            self.alerts = normalize_alert_rules(self.alerts)
 
     # -- Faults -------------------------------------------------------------------
 
@@ -198,6 +209,8 @@ class Scenario:
             data["check_invariants"] = True
         if self.trace:
             data["trace"] = True
+        if self.alerts is not None:
+            data["alerts"] = [rule.to_dict() for rule in self.alerts]
         return data
 
     @classmethod

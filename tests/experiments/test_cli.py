@@ -223,3 +223,28 @@ def test_analyze_empty_directory(tmp_path, capsys):
     os.makedirs(empty)
     assert main(["analyze", empty]) == 2
     assert "no JSONL captures found" in capsys.readouterr().err
+
+
+def test_fleet_telemetry_dir_and_top(tmp_path, capsys):
+    telemetry_dir = os.path.join(tmp_path, "telemetry")
+    assert main(["fleet", "rack", "--nodes", "2", "--jobs", "1",
+                 "--scale", "0.1", "--telemetry-dir", telemetry_dir,
+                 "--telemetry-interval-ms", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry" in out
+    assert os.path.exists(os.path.join(telemetry_dir, "merged.jsonl"))
+    assert os.path.exists(os.path.join(telemetry_dir, "fleet.openmetrics"))
+
+    assert main(["top", telemetry_dir]) == 0
+    top_out = capsys.readouterr().out
+    assert "rack-00" in top_out
+    assert "dp p99" in top_out
+
+
+def test_top_reads_fleet_json(tmp_path, capsys):
+    json_path = os.path.join(tmp_path, "fleet.json")
+    assert main(["fleet", "rack", "--nodes", "2", "--jobs", "1",
+                 "--scale", "0.1", "--json", json_path]) == 0
+    capsys.readouterr()
+    assert main(["top", json_path]) == 0
+    assert "rack-00" in capsys.readouterr().out

@@ -86,3 +86,85 @@ def test_violations_roll_up():
     block = aggregate_nodes([good, bad])
     assert block["invariant_violations"] == 3
     assert not block["invariants_ok"]
+
+
+# -- sketch aggregation path ---------------------------------------------------
+
+
+def _sketched(node, alpha=0.01):
+    """Attach the sketches a real sketch-shipping node carries."""
+    from repro.metrics.sketch import QuantileSketch
+
+    node = dict(node)
+    node["dp_sketch"] = QuantileSketch(alpha).extend(
+        node["dp_samples_us"]).to_dict()
+    node["dp_slo_total"] = len(node["dp_samples_us"])
+    node["startup_sketch"] = QuantileSketch(alpha).extend(
+        sorted(node["startup_samples_ms"])).to_dict()
+    del node["dp_samples_us"]
+    del node["startup_samples_ms"]
+    return node
+
+
+def test_sketch_path_matches_raw_within_alpha():
+    import numpy as np
+
+    rng = np.random.default_rng(9)
+    raw_nodes = [
+        _node("a", "taichi", list(rng.exponential(80.0, 400)),
+              list(rng.normal(200.0, 20.0, 50).clip(min=1.0))),
+        _node("b", "static", list(rng.exponential(400.0, 300)),
+              list(rng.normal(350.0, 40.0, 30).clip(min=1.0))),
+    ]
+    raw_block = aggregate_nodes(raw_nodes)
+    sketch_block = aggregate_nodes([_sketched(n) for n in raw_nodes])
+
+    assert "dp_sketch" in sketch_block and "startup_sketch" in sketch_block
+    assert sketch_block["dp_latency_us"]["count"] == \
+        raw_block["dp_latency_us"]["count"]
+    # Attainment pools exact counts on both paths.
+    assert sketch_block["dp_slo_attainment_pct"] == \
+        raw_block["dp_slo_attainment_pct"]
+    assert sketch_block["startup_slo_attainment_pct"] == \
+        raw_block["startup_slo_attainment_pct"]
+    # Percentiles agree within the sketch's relative-error bound (a
+    # little slack for the raw path's linear interpolation).
+    for key, qs in (("dp_latency_us", ("p50", "p99")),
+                    ("startup_ms", ("p50", "p99"))):
+        for q in qs:
+            exact = raw_block[key][q]
+            assert abs(sketch_block[key][q] - exact) <= 0.03 * exact
+
+
+def test_sketch_merge_order_is_spec_order():
+    import json
+
+    from repro.metrics.sketch import QuantileSketch, merge_sketch_dicts
+
+    nodes = [_sketched(_node(f"n{i}", "taichi",
+                             [10.0 * (i + 1), 250.0 / (i + 1)], []))
+             for i in range(3)]
+    block = aggregate_nodes(nodes)
+    expected = merge_sketch_dicts([n["dp_sketch"] for n in nodes])
+    assert json.dumps(block["dp_sketch"], sort_keys=True) == \
+        json.dumps(expected.to_dict(), sort_keys=True)
+
+
+def test_mixed_nodes_fall_back_to_raw_path():
+    # One hand-built summary without sketches forces the exact raw pool.
+    with_sketch = _sketched(_node("a", "taichi", [10.0, 20.0], [100.0]))
+    without = _node("b", "static", [50.0], [300.0])
+    block = aggregate_nodes([with_sketch, without])
+    assert "dp_sketch" not in block
+    # The raw pool only sees node b's samples (node a shipped none), so
+    # the count reflects the samples actually present.
+    assert block["dp_latency_us"]["count"] == 1
+
+
+def test_zero_sample_class_reports_count_zero():
+    idle = _sketched(_node("idle", "taichi", [], []))
+    block = aggregate_nodes([idle])
+    assert block["dp_latency_us"] == {"count": 0}
+    assert block["startup_ms"] == {"count": 0}
+    assert block["dp_slo_attainment_pct"] == 100.0   # vacuous
+    assert block["startup_slo_attainment_pct"] == 100.0

@@ -138,3 +138,106 @@ def test_parallel_is_faster_on_multicore():
     serial = FleetRunner(spec, jobs=1).run()
     parallel = FleetRunner(spec, jobs=4).run()
     assert parallel["timing"]["wall_s"] < serial["timing"]["wall_s"] * 0.9
+
+
+# -- telemetry + sketch shipping -----------------------------------------------
+
+
+def test_nodes_ship_sketches_not_raw_arrays_by_default():
+    report = FleetRunner(_tiny_spec(), jobs=1, scale=0.5).run()
+    for node in report["nodes"]:
+        assert "dp_sketch" in node
+        assert "startup_sketch" in node
+        assert "dp_samples_us" not in node
+        assert "startup_samples_ms" not in node
+    assert "dp_sketch" in report["aggregate"]["fleet"]
+
+
+def test_raw_samples_flag_restores_arrays():
+    import dataclasses
+
+    spec = dataclasses.replace(_tiny_spec(), raw_samples=True)
+    report = FleetRunner(spec, jobs=1, scale=0.5).run()
+    for node in report["nodes"]:
+        assert "dp_samples_us" in node
+        assert "dp_sketch" in node     # sketches ship either way
+
+
+def test_fleet_quantiles_bracket_raw_order_statistics():
+    # The acceptance bound: each merged-sketch quantile must land within
+    # the documented relative error of the pooled raw order statistics.
+    import dataclasses
+    import math
+
+    from repro.metrics.sketch import DEFAULT_ALPHA
+
+    spec = dataclasses.replace(FleetSpec.preset("rack").subset(3),
+                               raw_samples=True)
+    report = FleetRunner(spec, jobs=1, scale=0.1).run()
+    pool = sorted(value for node in report["nodes"]
+                  for value in node["dp_samples_us"])
+    assert pool
+    fleet = report["aggregate"]["fleet"]["dp_latency_us"]
+    for q in (50, 90, 99):
+        rank = q / 100.0 * (len(pool) - 1)
+        lower = pool[math.floor(rank)]
+        upper = pool[math.ceil(rank)]
+        estimate = fleet[f"p{q}"]
+        assert lower * (1 - DEFAULT_ALPHA) - 1e-9 <= estimate
+        assert estimate <= upper * (1 + DEFAULT_ALPHA) + 1e-9
+
+
+def test_jobs_byte_identical_with_telemetry_dirs(tmp_path):
+    # Telemetry export must not perturb determinism, and host paths must
+    # stay out of the canonical report.
+    spec = FleetSpec.preset("rack").subset(3)
+    serial = FleetRunner(spec, jobs=1, scale=0.1,
+                         telemetry_dir=os.path.join(tmp_path, "t1")).run()
+    parallel = FleetRunner(spec, jobs=4, scale=0.1,
+                           telemetry_dir=os.path.join(tmp_path, "t2")).run()
+    assert _canonical_json(serial) == _canonical_json(parallel)
+
+
+def test_telemetry_dir_writes_per_node_and_merged(tmp_path):
+    from repro.fleet import load_fleet_telemetry, load_merged_series
+    from repro.obs.telemetry import parse_openmetrics
+
+    telemetry_dir = os.path.join(tmp_path, "telemetry")
+    report = FleetRunner(_tiny_spec(), jobs=1, scale=0.5,
+                         telemetry_dir=telemetry_dir).run()
+    assert report["telemetry_dir"] == telemetry_dir
+
+    by_node = load_fleet_telemetry(telemetry_dir)
+    assert sorted(by_node) == [node["node_id"] for node in report["nodes"]]
+    for snapshots, meta in by_node.values():
+        assert snapshots
+        assert meta["stream_type"] == "telemetry"
+
+    merged = load_merged_series(telemetry_dir)
+    assert merged
+    first = merged[0]
+    assert first["stream"] == "fleet"
+    assert "rq_depth" in first["gauges"]
+    assert first["gauges"]["rq_depth"]["nodes"] == 2
+
+    with open(os.path.join(telemetry_dir, "fleet.openmetrics")) as handle:
+        samples = parse_openmetrics(handle.read())
+    assert any(name.startswith("taichi_") for name in samples)
+
+
+def test_top_renders_fleet_health(tmp_path):
+    from repro.fleet import render_top
+
+    telemetry_dir = os.path.join(tmp_path, "telemetry")
+    spec = _tiny_spec()
+    FleetRunner(spec, jobs=1, scale=0.5, telemetry_dir=telemetry_dir).run()
+    text = render_top(telemetry_dir)
+    for node in spec.nodes:
+        assert node.node_id in text
+    assert "dp p99" in text
+
+    # Also renders straight from a fleet JSON report.
+    json_path = os.path.join(tmp_path, "fleet.json")
+    report = FleetRunner(spec, jobs=1, scale=0.5).run()
+    write_fleet_json(json_path, report)
+    assert spec.nodes[0].node_id in render_top(json_path)

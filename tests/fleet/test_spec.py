@@ -131,3 +131,23 @@ def test_load_fleet_spec_dispatch(tmp_path):
     with pytest.raises(ValueError, match="preset"):
         load_fleet_spec("not-a-preset")
     assert set(PRESETS) == {"rack", "pod"}
+
+
+def test_telemetry_fields_round_trip():
+    spec = uniform_spec("t", "taichi", 2)
+    assert spec.raw_samples is False          # sketches ship by default
+    assert spec.telemetry_interval_ms == 10.0
+    assert "raw_samples" not in spec.to_dict()
+    assert "telemetry_interval_ms" not in spec.to_dict()
+
+    tuned = FleetSpec(name="t", nodes=[NodeSpec(node_id="a")],
+                      raw_samples=True, telemetry_interval_ms=2.5)
+    data = tuned.to_dict()
+    assert data["raw_samples"] is True
+    assert data["telemetry_interval_ms"] == 2.5
+    again = FleetSpec.from_dict(data)
+    assert again.raw_samples is True
+    assert again.telemetry_interval_ms == 2.5
+    with pytest.raises(ValueError, match="telemetry_interval_ms"):
+        FleetSpec(name="t", nodes=[NodeSpec(node_id="a")],
+                  telemetry_interval_ms=0)

@@ -1,0 +1,198 @@
+"""QuantileSketch: accuracy bound, merge algebra, JSON byte-stability."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.metrics.sketch import (
+    CounterSample,
+    GaugeSample,
+    QuantileSketch,
+    is_sketch_dict,
+    merge_sketch_dicts,
+)
+
+_QS = (50, 90, 99, 99.9)
+
+
+def _lower_order_stat(values, q):
+    """The order statistic the sketch tracks: sorted[floor(q/100*(n-1))]."""
+    data = sorted(values)
+    return data[int(q / 100.0 * (len(data) - 1))]
+
+
+def _assert_within_alpha(sketch, values, alpha):
+    for q in _QS:
+        estimate = sketch.percentile(q)
+        exact = _lower_order_stat(values, q)
+        assert abs(estimate - exact) <= alpha * exact + 1e-9, (
+            f"p{q}: estimate {estimate} vs order stat {exact} "
+            f"(alpha={alpha})")
+
+
+# -- accuracy ------------------------------------------------------------------
+
+
+def _distributions(rng):
+    return {
+        "bimodal": np.concatenate([
+            rng.normal(20.0, 2.0, 4_000).clip(min=0.1),
+            rng.normal(2_000.0, 150.0, 1_000).clip(min=0.1),
+        ]),
+        "heavy_tail": rng.pareto(1.5, 5_000) * 10.0 + 0.5,
+        "constant": np.full(1_000, 42.0),
+        "uniform": rng.uniform(0.01, 1e6, 5_000),
+    }
+
+
+@pytest.mark.parametrize("alpha", [0.01, 0.05])
+def test_relative_error_bound(alpha):
+    rng = np.random.default_rng(7)
+    for name, values in _distributions(rng).items():
+        sketch = QuantileSketch(alpha).extend(values)
+        _assert_within_alpha(sketch, values, alpha)
+
+
+def test_constant_distribution_is_near_exact():
+    sketch = QuantileSketch().extend([42.0] * 100)
+    for q in _QS:
+        assert sketch.percentile(q) == pytest.approx(42.0, rel=0.01)
+    assert sketch.min == sketch.max == 42.0
+
+
+def test_zeros_get_their_own_bucket():
+    sketch = QuantileSketch().extend([0.0] * 90 + [100.0] * 10)
+    assert sketch.zero_count == 90
+    assert sketch.percentile(50) == 0.0
+    assert sketch.percentile(99) == pytest.approx(100.0, rel=0.02)
+
+
+def test_percentile_clamped_to_min_max():
+    sketch = QuantileSketch().extend([5.0, 500.0])
+    assert sketch.percentile(0) >= sketch.min
+    assert sketch.percentile(100) <= sketch.max
+
+
+def test_empty_sketch_reports_null_not_raise():
+    sketch = QuantileSketch()
+    assert sketch.percentile(99) is None
+    assert sketch.percentiles() == {"p50": None, "p90": None, "p99": None}
+    assert sketch.summary() == {"count": 0}
+    assert sketch.mean == 0.0
+
+
+def test_rejects_bad_inputs():
+    with pytest.raises(ValueError, match="alpha"):
+        QuantileSketch(alpha=1.5)
+    sketch = QuantileSketch()
+    with pytest.raises(ValueError, match="non-negative"):
+        sketch.add(-1.0)
+    sketch.add(1.0)
+    with pytest.raises(ValueError, match="q must be"):
+        sketch.percentile(101)
+
+
+# -- merge algebra -------------------------------------------------------------
+
+
+def _random_sketches(rng, n=4, alpha=0.01):
+    out = []
+    for _ in range(n):
+        values = rng.exponential(100.0, int(rng.integers(50, 400)))
+        out.append(QuantileSketch(alpha).extend(values))
+    return out
+
+
+def test_merge_equals_extend_of_concatenation():
+    rng = np.random.default_rng(3)
+    a_values = rng.exponential(50.0, 500)
+    b_values = rng.exponential(500.0, 300)
+    merged = QuantileSketch().extend(a_values).merge(
+        QuantileSketch().extend(b_values))
+    pooled = np.concatenate([a_values, b_values])
+    assert merged.count == 800
+    _assert_within_alpha(merged, pooled, 0.01)
+
+
+def test_merge_associative_on_buckets():
+    rng = np.random.default_rng(11)
+    a, b, c = _random_sketches(rng, n=3)
+    left = QuantileSketch.merged([QuantileSketch.merged([a, b]), c])
+    right = QuantileSketch.merged([a, QuantileSketch.merged([b, c])])
+    assert left.buckets == right.buckets
+    assert left.count == right.count
+    assert left.sum == pytest.approx(right.sum, rel=1e-12)
+
+
+def test_merge_commutative_on_buckets_deterministic_in_order():
+    rng = np.random.default_rng(13)
+    sketches = _random_sketches(rng, n=4)
+    forward = QuantileSketch.merged(sketches)
+    reverse = QuantileSketch.merged(list(reversed(sketches)))
+    # Bucket counts commute exactly ...
+    assert forward.buckets == reverse.buckets
+    for q in _QS:
+        assert forward.percentile(q) == reverse.percentile(q)
+    # ... and merging in a fixed (spec) order is byte-deterministic.
+    again = QuantileSketch.merged(sketches)
+    assert again.to_json() == forward.to_json()
+
+
+def test_merge_rejects_mismatched_alpha_and_type():
+    with pytest.raises(ValueError, match="alpha"):
+        QuantileSketch(0.01).merge(QuantileSketch(0.02))
+    with pytest.raises(TypeError):
+        QuantileSketch().merge([1, 2, 3])
+
+
+def test_merge_with_empty_is_identity():
+    sketch = QuantileSketch().extend([1.0, 2.0, 3.0])
+    before = sketch.to_json()
+    sketch.merge(QuantileSketch())
+    assert sketch.to_json() == before
+
+
+# -- JSON round-trip -----------------------------------------------------------
+
+
+def test_json_round_trip_byte_stable():
+    rng = np.random.default_rng(5)
+    sketch = QuantileSketch().extend(rng.exponential(200.0, 1_000))
+    text = sketch.to_json()
+    restored = QuantileSketch.from_dict(json.loads(text))
+    assert restored == sketch
+    assert restored.to_json() == text
+    # A second independent build over the same values serializes the
+    # same bytes (fixed bucket layout, deterministic float sum).
+    rng2 = np.random.default_rng(5)
+    rebuilt = QuantileSketch().extend(rng2.exponential(200.0, 1_000))
+    assert rebuilt.to_json() == text
+
+
+def test_from_dict_rejects_foreign_payloads():
+    with pytest.raises(ValueError, match="not a serialized"):
+        QuantileSketch.from_dict({"type": "histogram"})
+    assert not is_sketch_dict({"type": "histogram"})
+    assert not is_sketch_dict("ddsketch")
+    assert is_sketch_dict(QuantileSketch().to_dict())
+
+
+def test_merge_sketch_dicts_in_spec_order():
+    rng = np.random.default_rng(17)
+    sketches = _random_sketches(rng, n=3)
+    dicts = [sketch.to_dict() for sketch in sketches]
+    merged = merge_sketch_dicts(dicts)
+    direct = QuantileSketch.merged(sketches)
+    assert merged.to_json() == direct.to_json()
+
+
+# -- snapshot sample types -----------------------------------------------------
+
+
+def test_counter_and_gauge_samples_round_trip():
+    counter = CounterSample("dp.idle_yields", total=120, delta=7)
+    assert CounterSample.from_dict("dp.idle_yields",
+                                   counter.to_dict()) == counter
+    gauge = GaugeSample("rq_depth", 3.0)
+    assert GaugeSample.from_dict("rq_depth", gauge.to_dict()) == gauge

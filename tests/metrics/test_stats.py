@@ -70,6 +70,28 @@ def test_percentiles_fractional_quantile_label():
     assert set(percentiles([1, 2, 3], qs=(99.9,))) == {"p99.9"}
 
 
+def test_percentile_empty_with_default_returns_it():
+    # Aggregation paths that may see zero-sample classes pass default=
+    # instead of crashing; no default keeps the historical raise.
+    assert percentile([], 50, default=None) is None
+    assert percentile([], 99, default=0.0) == 0.0
+    assert percentile([7.0], 50, default=None) == 7.0
+
+
+def test_percentiles_empty_with_default_labels_every_quantile():
+    result = percentiles([], qs=(50, 99.9), default=None)
+    assert result == {"p50": None, "p99.9": None}
+
+
+def test_latency_recorder_percentile_default():
+    from repro.metrics.stats import LatencyRecorder
+
+    recorder = LatencyRecorder()
+    assert recorder.percentile(99, default=None) is None
+    with pytest.raises(ValueError):
+        recorder.percentile(99)
+
+
 def test_summarize_full_summary():
     values = [5, 1, 9, 3]
     summary = summarize(values, qs=(50,))
