@@ -52,6 +52,10 @@ class VMCreateRequest:
         self.t_devices_ready = None
         self.t_vm_started = None
         self.done = env.event()
+        # Causal tracing: the vm-startup root span opens at issue time.
+        self.span_id = None
+        if env.spans.enabled:
+            env.spans.vm_begin(self)
 
     @property
     def startup_time_ns(self):
@@ -95,6 +99,11 @@ class DeviceManager:
         device finishes initialization — the host/eNIC layer uses it to
         materialize the actual data path (see :mod:`repro.hw.host`).
         """
+        spans = self.env.spans
+        if spans.enabled and request.span_id is not None:
+            # Watch the provisioning thread *before* it is spawned so the
+            # span tracker sees its very first sched_in.
+            spans.vm_watch(request, f"devmgmt-vm{request.vm_id}")
         self.board.kernel.spawn(
             f"devmgmt-vm{request.vm_id}",
             self._provision_body(request, on_device_initialized),
@@ -111,6 +120,8 @@ class DeviceManager:
         env = self.env
         params = self.params
         request.t_cp_started = env.now
+        if env.spans.enabled and request.span_id is not None:
+            env.spans.vm_cp_started(request)
         yield Compute(params.parse_ns)
         for device_index in range(request.n_devices):
             yield Compute(self._jitter(params.device_user_ns))
@@ -130,11 +141,15 @@ class DeviceManager:
             if on_device_initialized is not None:
                 on_device_initialized(request, device_index)
         request.t_devices_ready = env.now
+        if env.spans.enabled and request.span_id is not None:
+            env.spans.vm_devices_ready(request)
 
         # Notify QEMU: instantiation happens host-side and consumes no
         # SmartNIC CPU; model it as a fixed latency before the VM is up.
         def _started(_event):
             request.t_vm_started = env.now
+            if env.spans.enabled and request.span_id is not None:
+                env.spans.vm_started(request)
             self.completed.append(request)
             if not request.done.triggered:
                 request.done.succeed(request)

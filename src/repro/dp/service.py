@@ -65,6 +65,10 @@ class DPService:
         self.stalls_injected = 0
         self._recent_waits = deque(maxlen=256)  # rx-ready -> dp-start, ns
 
+        # Causal tracing: let the span tracker attribute rx-queue waits to
+        # queued-behind service time on this poller thread.
+        self.env.spans.register_dp_thread(name)
+
         self.thread = board.kernel.spawn(
             name, self._loop(), affinity={cpu_id},
             sched_class=SchedClass.REALTIME,
@@ -172,11 +176,14 @@ class DPService:
             batch = self._collect_batch()
             if batch:
                 self.is_idle_blocked = False
+                spans = self.env.spans
                 for request in batch:
                     request.t_dp_start = self.env.now
                     if request.t_rx_ready is not None:
                         self._recent_waits.append(
                             self.env.now - request.t_rx_ready)
+                    if spans.enabled and request.span_id is not None:
+                        spans.end_dp(request, self.cpu_id)
                     cost = self._packet_cost(request)
                     yield Compute(cost)
                     self.processing_ns += cost

@@ -56,6 +56,11 @@ def main(argv=None):
                             help="override the scheduler arms the experiment "
                                  "compares (registry names, e.g. "
                                  "baseline,taichi; reference arm first)")
+    run_parser.add_argument("--spans", action="store_true",
+                            help="emit causal request spans (span.begin/"
+                                 "span.end) for VM startups and DP packets; "
+                                 "analyze --critical-path and trace-request "
+                                 "consume them from --jsonl captures")
 
     soak_parser = sub.add_parser(
         "soak",
@@ -77,6 +82,10 @@ def main(argv=None):
                              help="DP probe latency SLO (default 300us)")
     soak_parser.add_argument("--json", default=None, metavar="PATH",
                              help="also write the full summary as JSON")
+    soak_parser.add_argument("--spans", action="store_true",
+                             help="trace causal request spans and report "
+                                  "per-channel tail exemplars with "
+                                  "critical-path attribution")
 
     analyze_parser = sub.add_parser(
         "analyze",
@@ -90,6 +99,21 @@ def main(argv=None):
                                 help="also write the full report as JSON")
     analyze_parser.add_argument("--no-invariants", action="store_true",
                                 help="skip the invariant checkers")
+    analyze_parser.add_argument("--critical-path", action="store_true",
+                                help="reconstruct span trees from the "
+                                     "capture and report per-channel "
+                                     "critical-path segment shares and "
+                                     "tail exemplars (needs a --spans run)")
+
+    trace_req_parser = sub.add_parser(
+        "trace-request",
+        help="render one request's span-tree waterfall (critical-path "
+             "segments over time) from a JSONL capture")
+    trace_req_parser.add_argument(
+        "capture", help="JSONL capture from a --spans run")
+    trace_req_parser.add_argument(
+        "request_id", help="request id, e.g. pkt-182 or vm7 (analyze "
+                           "--critical-path lists exemplar ids)")
 
     validate_parser = sub.add_parser(
         "validate", help="run all experiments and check the paper's shapes")
@@ -140,6 +164,11 @@ def main(argv=None):
                               help="ship raw per-node sample arrays instead "
                                    "of mergeable quantile sketches (the "
                                    "pre-sketch wire format)")
+    fleet_parser.add_argument("--spans", action="store_true",
+                              help="trace causal request spans on every "
+                                   "node; summaries carry tail exemplars "
+                                   "and the aggregate a fleet-wide "
+                                   "worst-request table ('top' renders it)")
 
     top_parser = sub.add_parser(
         "top",
@@ -162,9 +191,21 @@ def main(argv=None):
             print("no JSONL captures found", file=sys.stderr)
             return 2
         check = not args.no_invariants
+
+        def _critical_path(path, analysis):
+            if not args.critical_path:
+                return
+            from repro.obs.analysis import critical_path_from_streams
+            from repro.obs.spans import format_critical_path
+
+            _trees, report = critical_path_from_streams(path)
+            analysis["critical_path"] = report
+            print(format_critical_path(report))
+
         if len(paths) == 1:
             analysis = analyze_capture(paths[0], check_invariants=check)
             print(format_analysis(analysis))
+            _critical_path(paths[0], analysis)
             if args.json:
                 write_analysis_json(args.json, analysis)
                 print(f"wrote analysis report to {args.json}")
@@ -178,6 +219,7 @@ def main(argv=None):
             total_violations += len(analysis["violations"])
             print(f"==== {label} ({path}) ====")
             print(format_analysis(analysis))
+            _critical_path(path, analysis)
             print()
         print(f"combined: {len(paths)} captures, "
               f"{total_violations} invariant violations")
@@ -199,7 +241,8 @@ def main(argv=None):
             scenario, seed=args.seed,
             duration_ns=int(args.duration_ms * args.scale * MILLISECONDS),
             drain_ns=int(args.drain_ms * MILLISECONDS),
-            dp_slo_us=args.dp_slo_us, fault_scale=args.scale)
+            dp_slo_us=args.dp_slo_us, fault_scale=args.scale,
+            spans=args.spans)
         print(f"scenario: arm={scenario.arm} traffic={scenario.traffic} "
               f"faults={scenario.faults or '-'}")
         latency = summary["dp_latency_us"]
@@ -217,6 +260,18 @@ def main(argv=None):
         if faults["injected"]:
             print(f"faults: {faults['injected']} injected, "
                   f"{faults['cleared']} cleared")
+        if args.spans:
+            spans_info = summary["spans"]
+            print(f"spans: {spans_info['completed']} requests traced, "
+                  f"{spans_info['open']} open at end of run")
+            for channel in sorted(summary["exemplars"]):
+                records = summary["exemplars"][channel]
+                if not records:
+                    continue
+                worst = records[0]
+                print(f"  {channel} worst request: {worst['request']} "
+                      f"{worst['duration_ns'] / 1e6:.3f} ms, dominated by "
+                      f"{worst['dominant']} ({worst['dominant_pct']:.0f}%)")
         if args.json:
             with open(args.json, "w") as handle:
                 json.dump(summary, handle, indent=2)
@@ -237,6 +292,8 @@ def main(argv=None):
             spec = spec.subset(args.nodes)
         if args.raw_samples:
             spec.raw_samples = True
+        if args.spans:
+            spec.spans = True
         if args.telemetry_interval_ms is not None:
             spec.telemetry_interval_ms = args.telemetry_interval_ms
         runner = FleetRunner(spec, jobs=args.jobs, scale=args.scale,
@@ -265,6 +322,20 @@ def main(argv=None):
         from repro.fleet.telemetry import render_top
 
         print(render_top(args.source))
+        return 0
+
+    if args.command == "trace-request":
+        from repro.obs.analysis import find_request_tree
+        from repro.obs.spans import format_waterfall
+
+        tree = find_request_tree(args.capture, args.request_id)
+        if tree is None:
+            print(f"request {args.request_id!r} not found in "
+                  f"{args.capture} (was the capture taken with --spans? "
+                  f"analyze --critical-path lists exemplar ids)",
+                  file=sys.stderr)
+            return 2
+        print(format_waterfall(tree))
         return 0
 
     # Import here so `--help` stays fast.
@@ -326,7 +397,8 @@ def main(argv=None):
     targets = sorted(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
     reports = []
     with observe(trace=tracing,
-                 check_invariants=args.check_invariants) as session, \
+                 check_invariants=args.check_invariants,
+                 spans=args.spans) as session, \
             active_fault_plan(fault_plan), arm_override(arms):
         for exp_id in targets:
             started = time.time()

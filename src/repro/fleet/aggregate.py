@@ -111,14 +111,55 @@ def worst_nodes(nodes):
     return worst
 
 
+#: Fleet-wide worst-request table depth (per channel).
+_WORST_REQUESTS_K = 8
+
+
+def worst_requests(nodes, k=_WORST_REQUESTS_K):
+    """Pool per-node tail exemplars into the fleet worst-request table.
+
+    Only nodes that ran with spans on ship an ``exemplars`` block; the
+    pool keeps the compact fields (who, where, how long, what dominated)
+    and drops the per-request span trees — the node summary still has
+    those.  Sort is ``(-duration_ns, node_id, request)`` so the table is
+    deterministic at any ``--jobs`` level.
+    """
+    pooled = {}
+    for node in nodes:
+        for channel, records in (node.get("exemplars") or {}).items():
+            bucket = pooled.setdefault(channel, [])
+            for record in records:
+                bucket.append({
+                    "node_id": node["node_id"],
+                    "request": record["request"],
+                    "duration_ns": record["duration_ns"],
+                    "dominant": record["dominant"],
+                    "dominant_pct": record["dominant_pct"],
+                    "segments": dict(record["segments"]),
+                })
+    out = {}
+    for channel in sorted(pooled):
+        bucket = sorted(
+            pooled[channel],
+            key=lambda r: (-r["duration_ns"], r["node_id"], r["request"]))
+        out[channel] = bucket[:k]
+    return out
+
+
 def aggregate_fleet(nodes):
     """The full fleet report block: fleet + per-class + worst nodes."""
     classes = {}
     for node in nodes:
         classes.setdefault(node["deployment"], []).append(node)
-    return {
+    out = {
         "fleet": aggregate_nodes(nodes),
         "classes": {name: aggregate_nodes(members)
                     for name, members in sorted(classes.items())},
         "worst_nodes": worst_nodes(nodes),
     }
+    requests = worst_requests(nodes)
+    if requests:
+        # Only present on spans-on fleets, keeping spans-off reports
+        # byte-identical to pre-span ones.
+        out["worst_requests"] = requests
+    return out

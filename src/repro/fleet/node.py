@@ -40,7 +40,9 @@ def run_node(payload):
     ``raw_samples`` (ship raw sample arrays; when false — the fleet
     default — the summary carries only the mergeable sketches and the
     derived stats), ``telemetry_dir`` (per-node snapshot-series JSONL
-    target dir or None) and ``telemetry_interval_ms``.
+    target dir or None), ``telemetry_interval_ms`` and ``spans``
+    (causal request tracing: the summary gains per-channel tail
+    exemplars the aggregator pools into the fleet worst-request table).
     """
     node = NodeSpec.from_dict(payload["node"])
     capture_path = payload.get("capture_path")
@@ -57,6 +59,7 @@ def run_node(payload):
             fault_scale=float(payload.get("fault_scale", 1.0)),
             label=node.node_id,
             telemetry=telemetry,
+            spans=bool(payload.get("spans", False)),
         )
         if capture_path is not None:
             write_jsonl(capture_path, session.streams)

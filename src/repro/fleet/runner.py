@@ -71,6 +71,7 @@ class FleetRunner:
                 "raw_samples": self.spec.raw_samples,
                 "telemetry_dir": self.telemetry_dir,
                 "telemetry_interval_ms": self.spec.telemetry_interval_ms,
+                "spans": self.spec.spans,
             })
         return out
 

@@ -128,7 +128,9 @@ class FleetSpec:
     ``raw_samples`` makes every node ship its raw probe/startup sample
     arrays (the pre-sketch wire format) instead of mergeable quantile
     sketches; ``telemetry_interval_ms`` is the per-node snapshot cadence
-    when the runner is given a telemetry directory.
+    when the runner is given a telemetry directory.  ``spans`` turns on
+    causal request tracing on every node: each summary then carries its
+    tail exemplars and the fleet aggregate a ``worst_requests`` table.
     """
 
     name: str
@@ -139,6 +141,7 @@ class FleetSpec:
     dp_slo_us: float = 300.0
     raw_samples: bool = False
     telemetry_interval_ms: float = 10.0
+    spans: bool = False
 
     def __post_init__(self):
         if not isinstance(self.name, str) or not self.name:
@@ -164,6 +167,7 @@ class FleetSpec:
         self.raw_samples = bool(self.raw_samples)
         if self.telemetry_interval_ms <= 0:
             raise ValueError("telemetry_interval_ms must be positive")
+        self.spans = bool(self.spans)
 
     def with_seed(self, seed):
         """A copy rooted at a different seed (CLI ``--seed`` override)."""
@@ -190,6 +194,8 @@ class FleetSpec:
             data["raw_samples"] = True
         if self.telemetry_interval_ms != 10.0:
             data["telemetry_interval_ms"] = self.telemetry_interval_ms
+        if self.spans:
+            data["spans"] = True
         return data
 
     def to_json(self, path):

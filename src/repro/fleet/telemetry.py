@@ -234,10 +234,26 @@ def fleet_health_rows(source):
 
 
 def render_top(source):
-    """The ``taichi-experiments top`` view: fleet health as a text table."""
+    """The ``taichi-experiments top`` view: fleet health as a text table.
+
+    Given a fleet JSON report from a spans-on run, a second table lists
+    the fleet-wide worst requests (the pooled tail exemplars) under the
+    health rows — node, request id, duration, dominant segment.
+    """
     from repro.experiments.report import format_table
 
-    rows = fleet_health_rows(source)
+    worst_requests = {}
+    if os.path.isdir(source):
+        rows = fleet_health_rows(source)
+    else:
+        with open(source) as handle:
+            report = json.load(handle)
+        nodes = report.get("nodes")
+        if not nodes:
+            raise ValueError(f"{source!r} is not a fleet report (no nodes)")
+        rows = [_node_row_from_summary(node) for node in nodes]
+        worst_requests = (report.get("aggregate") or {}).get(
+            "worst_requests") or {}
     worst = max(
         (row for row in rows if row["dp_p99_us"] is not None),
         key=lambda row: row["dp_p99_us"], default=None)
@@ -254,6 +270,21 @@ def render_top(source):
         lines.append(f"alerting: {', '.join(alerting)}")
     elif not degraded:
         lines.append("all nodes healthy")
+    if worst_requests:
+        request_rows = [
+            {
+                "channel": channel,
+                "node": record["node_id"],
+                "request": record["request"],
+                "duration_ms": record["duration_ns"] / 1e6,
+                "dominant": (f"{record['dominant']} "
+                             f"({record['dominant_pct']:.0f}%)"),
+            }
+            for channel in sorted(worst_requests)
+            for record in worst_requests[channel]
+        ]
+        lines.append(f"== worst requests: {len(request_rows)} ==")
+        lines.append(format_table(request_rows))
     return "\n".join(lines)
 
 

@@ -67,6 +67,9 @@ class Accelerator:
         store, dst_cpu_id = self._queues[request.queue_id]
         now = self.env.now
         request.t_submit = now if request.t_submit is None else request.t_submit
+        spans = self.env.spans
+        if spans.enabled and request.span_id is None:
+            spans.begin_dp(request, dst_cpu_id)
 
         # The probe inspects the destination CPU *before* preprocessing.
         if self.probe is not None:

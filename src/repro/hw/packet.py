@@ -35,6 +35,7 @@ class IORequest:
         "t_dp_start",
         "t_done",
         "done",
+        "span_id",
     )
 
     def __init__(self, kind, size_bytes, queue_id, service_ns, flow=None,
@@ -52,6 +53,9 @@ class IORequest:
         self.t_dp_start = None
         self.t_done = None
         self.done = done
+        # Causal-tracing correlation id (set while a span is open on this
+        # request; see repro.obs.spans).
+        self.span_id = None
 
     @property
     def total_latency_ns(self):

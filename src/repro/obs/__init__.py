@@ -53,6 +53,14 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.session import ObservabilitySession, current, observe
+from repro.obs.spans import (
+    ExemplarReservoir,
+    SpanTracker,
+    build_span_trees,
+    critical_path_report,
+    format_critical_path,
+    format_waterfall,
+)
 from repro.obs.telemetry import (
     RingSeries,
     TelemetryBus,
@@ -70,6 +78,7 @@ __all__ = [
     "AlertRule",
     "Counter",
     "DEFAULT_ALERT_RULES",
+    "ExemplarReservoir",
     "Gauge",
     "HistogramMetric",
     "InvariantEngine",
@@ -77,6 +86,7 @@ __all__ = [
     "ObservabilitySession",
     "RingSeries",
     "SLOMonitor",
+    "SpanTracker",
     "TelemetryBus",
     "TelemetryConfig",
     "TelemetryJsonlWriter",
@@ -86,12 +96,16 @@ __all__ = [
     "analyze_capture",
     "analyze_events",
     "analyze_streams",
+    "build_span_trees",
     "check_events",
     "chrome_trace",
+    "critical_path_report",
     "current",
     "default_checkers",
     "format_analysis",
+    "format_critical_path",
     "format_metrics",
+    "format_waterfall",
     "load_jsonl",
     "load_telemetry_jsonl",
     "normalize_alert_rules",

@@ -135,6 +135,20 @@ DEFAULT_ALERT_RULES = (
 )
 
 
+def channel_for_signal(signal):
+    """Map an alert signal name to its tail-exemplar span channel.
+
+    ``dp_*`` signals (rx-wait sketches, attainment) trace back to DP
+    packet spans; ``startup_*`` / ``vm_*`` signals to VM-startup spans.
+    Signals with no per-request story (``probe_health``) map to None.
+    """
+    if signal.startswith("dp_"):
+        return "dp"
+    if signal.startswith(("startup_", "vm_")):
+        return "vm"
+    return None
+
+
 @dataclass
 class ActiveAlert:
     """Book-keeping for one currently-firing rule."""
@@ -157,22 +171,31 @@ class SLOMonitor:
     are recorded as ``alert.raised`` / ``alert.cleared`` trace events.
     """
 
-    def __init__(self, rules=None, tracer=None, node_id="node"):
+    def __init__(self, rules=None, tracer=None, node_id="node",
+                 exemplar_provider=None):
         self.rules = normalize_alert_rules(
             rules if rules is not None else DEFAULT_ALERT_RULES)
         self.tracer = tracer
         self.node_id = node_id
+        # When a span tracker (anything with ``worst_ids(channel)``) is
+        # attached, raised alerts reference the worst live tail exemplars
+        # of the signal's channel — the "which request" breadcrumb.
+        self.exemplar_provider = exemplar_provider
         self.active = {}           # rule name -> ActiveAlert
         self.history = []          # closed alert dicts, in clear order
         self.raised_total = 0
         self.cleared_total = 0
+        self.end_of_run_cleared = 0
         self._breach_streak = {rule.name: 0 for rule in self.rules}
         self._ok_streak = {rule.name: 0 for rule in self.rules}
+        self._last_ts = 0
+        self._finished = False
 
     # -- Evaluation --------------------------------------------------------------
 
     def on_snapshot(self, snapshot):
         signals = snapshot.signals()
+        self._last_ts = snapshot.t_end_ns
         for rule in self.rules:
             self._evaluate(rule, signals, snapshot)
         for name in sorted(self.active):
@@ -211,11 +234,25 @@ class SLOMonitor:
             rule=rule, raised_ns=snapshot.t_end_ns, value=value)
         self.raised_total += 1
         if self.tracer is not None:
-            self.tracer.record(
-                snapshot.t_end_ns, "-", "alert.raised",
-                alert=rule.name, signal=rule.signal, value=value,
-                threshold=rule.threshold, op=rule.op,
-                severity=rule.severity, node=self.node_id)
+            detail = {
+                "alert": rule.name, "signal": rule.signal, "value": value,
+                "threshold": rule.threshold, "op": rule.op,
+                "severity": rule.severity, "node": self.node_id,
+            }
+            exemplars = self._exemplars_for(rule.signal)
+            if exemplars:
+                detail["exemplars"] = exemplars
+            self.tracer.record(snapshot.t_end_ns, "-", "alert.raised",
+                               **detail)
+
+    def _exemplars_for(self, signal):
+        """Worst live exemplar request ids for the signal's channel."""
+        if self.exemplar_provider is None:
+            return []
+        channel = channel_for_signal(signal)
+        if channel is None:
+            return []
+        return list(self.exemplar_provider.worst_ids(channel))
 
     def _clear(self, rule, value, snapshot):
         active = self.active.pop(rule.name)
@@ -237,6 +274,35 @@ class SLOMonitor:
                 threshold=rule.threshold, duration_ns=duration_ns,
                 peak=active.peak, severity=rule.severity,
                 node=self.node_id)
+
+    # -- End of run --------------------------------------------------------------
+
+    def finish(self, now_ns=None):
+        """Emit synthetic ``alert.cleared`` events for still-active alerts.
+
+        Called by :meth:`TelemetryBus.close` when the run ends: a soak
+        that finishes mid-incident would otherwise leave its raise
+        unpaired in the trace stream.  The synthetic clear is stamped
+        ``end_of_run=True`` and does *not* touch :attr:`active` or the
+        history — the summary still reports the incident as open; only
+        the trace stream gets closure.  Idempotent.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        ts = self._last_ts if now_ns is None else max(now_ns, self._last_ts)
+        for name in sorted(self.active):
+            active = self.active[name]
+            rule = active.rule
+            self.end_of_run_cleared += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    ts, "-", "alert.cleared",
+                    alert=name, signal=rule.signal, value=None,
+                    threshold=rule.threshold,
+                    duration_ns=ts - active.raised_ns, peak=active.peak,
+                    severity=rule.severity, node=self.node_id,
+                    end_of_run=True)
 
     # -- Reporting ---------------------------------------------------------------
 

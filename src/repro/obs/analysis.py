@@ -338,6 +338,28 @@ def analyze_capture(path, check_invariants=True, checkers=None):
                            checkers=checkers)
 
 
+def critical_path_from_streams(streams, exemplar_k=None):
+    """Span trees + per-channel critical-path report over any stream form.
+
+    ``streams`` accepts everything :func:`analyze_streams` does.  Returns
+    ``(trees, report)`` — see :func:`repro.obs.spans.build_span_trees`
+    and :func:`repro.obs.spans.critical_path_report`.
+    """
+    from repro.obs import spans as spans_mod
+
+    trees = {}
+    for _label, events, _meta in _normalize(streams):
+        trees.update(spans_mod.build_span_trees(events))
+    kwargs = {} if exemplar_k is None else {"exemplar_k": exemplar_k}
+    return trees, spans_mod.critical_path_report(trees, **kwargs)
+
+
+def find_request_tree(streams, request_id):
+    """The reconstructed span tree for one request id, or None."""
+    trees, _report = critical_path_from_streams(streams)
+    return trees.get(request_id)
+
+
 # -- Report formatting ---------------------------------------------------------
 
 
@@ -410,6 +432,12 @@ def format_stream_report(label, report):
                              for service, count in dp["by_service"].items())
         lines.append(f"  dp idle yields: {dp['total']} ({rendered})")
 
+    spans_begun = report["kinds"].get("span.begin", 0)
+    if spans_begun:
+        lines.append(f"  spans: {spans_begun} begun / "
+                     f"{report['kinds'].get('span.end', 0)} ended "
+                     "(use --critical-path for per-request attribution)")
+
     alerts = report.get("alerts", {})
     if alerts.get("raised"):
         rendered = ", ".join(f"{name}={count}"
@@ -466,7 +494,7 @@ def format_analysis(analysis, max_violations=20):
 
 def analysis_to_json(analysis):
     """JSON-safe version of an :func:`analyze_streams` result."""
-    return {
+    out = {
         "streams": analysis["streams"],
         "warnings": list(analysis["warnings"]),
         "violations": [
@@ -474,6 +502,10 @@ def analysis_to_json(analysis):
             for label, violation in analysis["violations"]
         ],
     }
+    if "critical_path" in analysis:
+        # Attached by the CLI's --critical-path pass; plain data already.
+        out["critical_path"] = analysis["critical_path"]
+    return out
 
 
 def write_analysis_json(path, analysis):

@@ -47,6 +47,10 @@ def _jsonable(value):
         return value.value
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
     return str(value)
 
 
@@ -62,17 +66,36 @@ def _normalize_streams(trace_source):
 
 
 def chrome_trace(trace_source):
-    """Build a Chrome trace-event JSON object (dict) from trace streams."""
+    """Build a Chrome trace-event JSON object (dict) from trace streams.
+
+    ``span.begin``/``span.end`` pairs become async events (``b``/``e``)
+    keyed by request id, with completed roots additionally emitting their
+    critical-path ``parts`` as nested async windows plus a flow arrow
+    (``s``/``f``) linking the request's begin CPU to its pickup CPU.
+    ``otherData.streams`` carries each stream's ``trace_meta``
+    bookkeeping (event/drop counts, capacity, ring mode) so truncated
+    ring-buffer captures are detectable from the Chrome view too.
+    """
     trace_events = []
     dropped_total = 0
+    streams_meta = []
     for pid, (label, tracer) in enumerate(_normalize_streams(trace_source)):
         trace_events.append({
             "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
             "args": {"name": label},
         })
         dropped_total += getattr(tracer, "dropped", 0)
+        summary_fn = getattr(tracer, "summary", None)
+        meta = summary_fn() if callable(summary_fn) else {
+            "events": sum(1 for _ in tracer),
+            "dropped": getattr(tracer, "dropped", 0),
+        }
+        streams_meta.append(dict(
+            {"pid": pid, "stream": label},
+            **{key: _jsonable(val) for key, val in meta.items()}))
         tids = {}
         opens = {}
+        span_opens = {}
         last_ts = 0
 
         def tid_for(cpu_id):
@@ -116,6 +139,52 @@ def chrome_trace(trace_source):
                     "pid": pid, "tid": tid_for(event.cpu_id), "args": args,
                 })
                 continue
+            if kind == "span.begin":
+                args = _args(event)
+                span_opens[args.get("span")] = event
+                trace_events.append({
+                    "ph": "b", "cat": "span", "id": args.get("request"),
+                    "name": args.get("name", "span"), "ts": ts_us,
+                    "pid": pid, "tid": tid_for(event.cpu_id), "args": args,
+                })
+                continue
+            if kind == "span.end":
+                args = _args(event)
+                begin = span_opens.pop(args.get("span"), None)
+                trace_events.append({
+                    "ph": "e", "cat": "span", "id": args.get("request"),
+                    "name": args.get("name", "span"), "ts": ts_us,
+                    "pid": pid, "tid": tid_for(event.cpu_id),
+                    "args": {key: val for key, val in args.items()
+                             if key != "parts"},
+                })
+                for part in args.get("parts") or ():
+                    name, lo, hi = part[0], part[1], part[2]
+                    trace_events.append({
+                        "ph": "b", "cat": "span", "id": args.get("request"),
+                        "name": name, "ts": lo / 1000.0,
+                        "pid": pid, "tid": tid_for(event.cpu_id), "args": {},
+                    })
+                    trace_events.append({
+                        "ph": "e", "cat": "span", "id": args.get("request"),
+                        "name": name, "ts": hi / 1000.0,
+                        "pid": pid, "tid": tid_for(event.cpu_id), "args": {},
+                    })
+                if begin is not None and "parent" not in begin.detail:
+                    flow_id = f"flow:{args.get('request')}"
+                    trace_events.append({
+                        "ph": "s", "cat": "span.flow", "id": flow_id,
+                        "name": args.get("name", "span"),
+                        "ts": begin.ts_ns / 1000.0, "pid": pid,
+                        "tid": tid_for(begin.cpu_id),
+                    })
+                    trace_events.append({
+                        "ph": "f", "cat": "span.flow", "id": flow_id,
+                        "name": args.get("name", "span"), "bp": "e",
+                        "ts": ts_us, "pid": pid,
+                        "tid": tid_for(event.cpu_id),
+                    })
+                continue
             if kind in _COUNTER_KINDS:
                 key = _COUNTER_KINDS[kind]
                 value = event.detail.get(key, 0)
@@ -146,7 +215,8 @@ def chrome_trace(trace_source):
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ns",
-        "otherData": {"dropped_events": dropped_total},
+        "otherData": {"dropped_events": dropped_total,
+                      "streams": streams_meta},
     }
 
 

@@ -440,6 +440,83 @@ class AlertPairingChecker(InvariantChecker):
         return ()
 
 
+class SpanPairingChecker(InvariantChecker):
+    """``span.begin`` / ``span.end`` must pair, and children must nest.
+
+    Each span id may begin once and end once; a child's begin must fall
+    inside an open parent carrying the same request id, and a parent must
+    not end while any of its children are still open.  Spans still open
+    at stream end are legal (the run ended mid-request — startups past
+    the drain horizon, packets still queued), mirroring
+    :class:`AlertPairingChecker`.
+    """
+
+    name = "span_pairing"
+
+    def __init__(self):
+        self._open = {}           # span id -> span.begin event
+        self._open_children = {}  # parent span id -> open child count
+
+    def observe(self, event):
+        if event.kind == "span.begin":
+            detail = event.detail
+            span_id = detail.get("span")
+            stale = self._open.get(span_id)
+            self._open[span_id] = event
+            if stale is not None:
+                return [Violation(
+                    self.name,
+                    f"span {span_id!r} begun twice without an end",
+                    event,
+                    context=(stale,),
+                )]
+            parent = detail.get("parent")
+            if parent is not None:
+                parent_begin = self._open.get(parent)
+                if parent_begin is None:
+                    return [Violation(
+                        self.name,
+                        f"span {span_id!r} begun under parent {parent!r} "
+                        f"which is not open",
+                        event,
+                    )]
+                if (parent_begin.detail.get("request")
+                        != detail.get("request")):
+                    return [Violation(
+                        self.name,
+                        f"span {span_id!r} (request "
+                        f"{detail.get('request')!r}) nests under parent "
+                        f"{parent!r} of request "
+                        f"{parent_begin.detail.get('request')!r}",
+                        event,
+                        context=(parent_begin,),
+                    )]
+                self._open_children[parent] = (
+                    self._open_children.get(parent, 0) + 1)
+            return ()
+        if event.kind != "span.end":
+            return ()
+        span_id = event.detail.get("span")
+        begin = self._open.pop(span_id, None)
+        if begin is None:
+            return [Violation(
+                self.name,
+                f"span {span_id!r} ended but never begun",
+                event,
+            )]
+        parent = begin.detail.get("parent")
+        if parent is not None and self._open_children.get(parent):
+            self._open_children[parent] -= 1
+        if self._open_children.pop(span_id, 0):
+            return [Violation(
+                self.name,
+                f"span {span_id!r} ended while a child span is still open",
+                event,
+                context=(begin,),
+            )]
+        return ()
+
+
 DEFAULT_CHECKERS = (
     MonotonicTimestamps,
     IpiDeliveryBound,
@@ -449,6 +526,7 @@ DEFAULT_CHECKERS = (
     RunQueueDepthConsistency,
     FaultRecoveryChecker,
     AlertPairingChecker,
+    SpanPairingChecker,
 )
 
 

@@ -33,11 +33,16 @@ class ObservabilitySession:
     """
 
     def __init__(self, trace=False, trace_cap=1_000_000, ring=True,
-                 check_invariants=False):
+                 check_invariants=False, spans=False, exemplar_k=None):
         self.trace = trace
         self.trace_cap = trace_cap
         self.ring = ring
         self.check_invariants = check_invariants
+        # With ``spans=True`` every adopted environment's SpanTracker is
+        # enabled at construction, so request roots opened anywhere in
+        # the deployment carry correlation ids from the first event.
+        self.spans = spans
+        self.exemplar_k = exemplar_k
         self.metrics = MetricsRegistry()
         self.streams = []          # [(label, Tracer)]
         self.invariant_engines = []  # [(label, InvariantEngine)]
@@ -86,11 +91,12 @@ def current():
 
 @contextmanager
 def observe(trace=False, trace_cap=1_000_000, ring=True,
-            check_invariants=False):
+            check_invariants=False, spans=False, exemplar_k=None):
     """Activate a session for the duration of the block (re-entrant)."""
     global _ACTIVE
     session = ObservabilitySession(trace=trace, trace_cap=trace_cap, ring=ring,
-                                   check_invariants=check_invariants)
+                                   check_invariants=check_invariants,
+                                   spans=spans, exemplar_k=exemplar_k)
     previous = _ACTIVE
     _ACTIVE = session
     try:

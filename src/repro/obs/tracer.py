@@ -29,6 +29,8 @@ kind                 meaning
 ``lock_safe_migrate``a descheduled lock-holder vCPU was re-dispatched
 ``cpu_online``       a CPU came online (hotplug/boot)
 ``thread_exit``      a thread exited
+``span.begin``       a causal request span opened (``repro.obs.spans``)
+``span.end``         a span closed (roots carry ``duration_ns`` + ``parts``)
 ===================  =======================================================
 """
 

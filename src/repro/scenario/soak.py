@@ -36,7 +36,7 @@ _NOMINAL_DP_SERVICES = 8
 
 def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
              drain_ns=200 * MILLISECONDS, dp_slo_us=300.0, fault_scale=1.0,
-             label="node", telemetry=None):
+             label="node", telemetry=None, spans=False, exemplar_k=None):
     """Soak one scenario and return its picklable summary dict.
 
     ``fault_scale`` compresses the scenario's fault plan alongside a
@@ -54,6 +54,15 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
     rules against each snapshot.  Telemetry never changes the simulated
     schedule (ticks only read state), and the summary's quantile
     sketches accumulate identically with the bus on or off.
+
+    ``spans=True`` enables causal request tracing
+    (:class:`~repro.obs.spans.SpanTracker`): DP probe packets and VM
+    startups carry correlation ids, the K worst requests per channel
+    (``exemplar_k``, default 4) ship under ``summary["exemplars"]`` with
+    their full critical-path decomposition, and raised alerts reference
+    the worst live exemplar ids.  Span tracking only *reads* the flat
+    event stream, so every other summary key is byte-identical to a
+    spans-off run.
     """
     from repro.scenario.spec import TRAFFIC_PROFILES
     from repro.workloads.background import (
@@ -61,6 +70,8 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
     )
 
     deployment = scenario.build(seed=seed, fault_scale=fault_scale)
+    if spans:
+        deployment.env.spans.enable(exemplar_k=exemplar_k)
 
     mix = scenario.workload
     per_service_util = min(
@@ -105,7 +116,8 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
             # The monitor subscribes first so exported snapshots carry
             # the interval's active alerts.
             monitor = bus.subscribe(SLOMonitor(
-                rules=rules, tracer=env.tracer, node_id=node_id))
+                rules=rules, tracer=env.tracer, node_id=node_id,
+                exemplar_provider=env.spans if spans else None))
         ring = bus.subscribe(RingSeries(cap=telemetry.ring_cap))
         if telemetry.jsonl_path:
             jsonl_writer = bus.subscribe(TelemetryJsonlWriter(
@@ -223,6 +235,14 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
         "dp_slo_total": len(dp_samples_us),
         "startup_sketch": startup_sketch.to_dict(),
     }
+    if spans:
+        # Only added when spans are on, so a spans-off summary (and its
+        # fleet JSON) stays byte-identical to previous releases.
+        summary["exemplars"] = env.spans.exemplars()
+        summary["spans"] = {
+            "completed": env.spans.roots_completed,
+            "open": env.spans.open_spans(),
+        }
     if bus is not None:
         summary["telemetry"] = {
             "intervals": bus.snapshots_emitted,

@@ -6,6 +6,7 @@ from time import perf_counter
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.session import current as _current_obs_session
+from repro.obs.spans import SpanTracker
 from repro.obs.tracer import Tracer
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, PRIORITY_NORMAL, Timeout
@@ -47,6 +48,13 @@ class Environment:
             self.tracer = Tracer(enabled=False)
             self.metrics = MetricsRegistry()
         self.metrics.add_source("sim.engine", self.profile)
+        # Causal request tracing rides alongside the flat tracer: always
+        # constructed (instrumentation gates on ``spans.enabled``),
+        # enabled when the active session asks for spans.
+        self.spans = SpanTracker(self)
+        if session is not None and getattr(session, "spans", False):
+            self.spans.enable(exemplar_k=getattr(session, "exemplar_k",
+                                                 None))
 
     @property
     def now(self):

@@ -248,3 +248,57 @@ def test_top_reads_fleet_json(tmp_path, capsys):
     capsys.readouterr()
     assert main(["top", json_path]) == 0
     assert "rack-00" in capsys.readouterr().out
+
+
+def test_soak_spans_prints_worst_request(capsys):
+    assert main(["soak", "taichi", "--duration-ms", "60",
+                 "--drain-ms", "30", "--spans"]) == 0
+    out = capsys.readouterr().out
+    assert "requests traced" in out
+    assert "dp worst request: pkt-" in out
+    assert "dominated by" in out
+
+
+def test_analyze_critical_path_and_trace_request(tmp_path, capsys):
+    # One spans-on fleet capture drives analyze --critical-path (the CI
+    # smoke flow) and the per-request waterfall view.
+    capture_dir = os.path.join(tmp_path, "captures")
+    assert main(["fleet", "rack", "--nodes", "1", "--jobs", "1",
+                 "--scale", "0.1", "--spans",
+                 "--capture-dir", capture_dir]) == 0
+    capsys.readouterr()
+    capture = os.path.join(capture_dir, "rack-00.jsonl")
+    json_path = os.path.join(tmp_path, "analysis.json")
+
+    assert main(["analyze", capture, "--critical-path",
+                 "--json", json_path]) == 0
+    out = capsys.readouterr().out
+    assert "== channel 'dp'" in out
+    assert "tail dominated by" in out
+    assert "exemplar pkt-" in out
+
+    import json as json_mod
+    with open(json_path) as handle:
+        payload = json_mod.load(handle)
+    block = payload["critical_path"]["dp"]
+    assert block["exemplars"]
+    worst = block["exemplars"][0]["request"]
+
+    assert main(["trace-request", capture, worst]) == 0
+    waterfall = capsys.readouterr().out
+    assert worst in waterfall
+    assert "critical path:" in waterfall
+
+    assert main(["trace-request", capture, "pkt-does-not-exist"]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_fleet_spans_json_feeds_top_worst_requests(tmp_path, capsys):
+    json_path = os.path.join(tmp_path, "fleet.json")
+    assert main(["fleet", "rack", "--nodes", "2", "--jobs", "1",
+                 "--scale", "0.1", "--spans", "--json", json_path]) == 0
+    capsys.readouterr()
+    assert main(["top", json_path]) == 0
+    out = capsys.readouterr().out
+    assert "worst requests" in out
+    assert "dominant" in out

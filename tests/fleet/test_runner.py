@@ -241,3 +241,58 @@ def test_top_renders_fleet_health(tmp_path):
     report = FleetRunner(spec, jobs=1, scale=0.5).run()
     write_fleet_json(json_path, report)
     assert spec.nodes[0].node_id in render_top(json_path)
+
+
+# -- causal spans across the fleet ---------------------------------------------
+
+
+def test_spans_fleet_byte_identical_across_jobs():
+    spec = _tiny_spec(n_nodes=2)
+    spec.spans = True
+    serial = FleetRunner(spec, jobs=1, scale=1.0).run()
+    parallel = FleetRunner(spec, jobs=2, scale=1.0).run()
+    assert _canonical_json(serial) == _canonical_json(parallel)
+
+
+def test_spans_fleet_pools_worst_requests():
+    spec = _tiny_spec(n_nodes=2)
+    spec.spans = True
+    report = FleetRunner(spec, jobs=1, scale=1.0).run()
+
+    for node in report["nodes"]:
+        assert "exemplars" in node
+        assert node["spans"]["completed"] > 0
+    worst = report["aggregate"]["worst_requests"]
+    assert "dp" in worst
+    node_ids = {node.node_id for node in spec.nodes}
+    durations = [entry["duration_ns"] for entry in worst["dp"]]
+    assert durations == sorted(durations, reverse=True)
+    for entry in worst["dp"]:
+        assert entry["node_id"] in node_ids
+        assert entry["dominant"] in entry["segments"]
+        assert sum(entry["segments"].values()) == entry["duration_ns"]
+
+
+def test_spans_off_fleet_report_has_no_span_keys():
+    spec = _tiny_spec(n_nodes=1)
+    report = FleetRunner(spec, jobs=1, scale=1.0).run()
+    assert "worst_requests" not in report["aggregate"]
+    assert "exemplars" not in report["nodes"][0]
+    assert "spans" not in report["spec"]
+
+
+def test_top_renders_worst_requests_from_fleet_json(tmp_path):
+    # Satellite contract: `top` against a fleet --json report alone (no
+    # --telemetry-dir anywhere) renders the pooled worst-request table.
+    from repro.fleet import render_top
+
+    spec = _tiny_spec(n_nodes=2)
+    spec.spans = True
+    report = FleetRunner(spec, jobs=1, scale=1.0).run()
+    json_path = os.path.join(tmp_path, "fleet.json")
+    write_fleet_json(json_path, report)
+    text = render_top(json_path)
+    assert "worst requests" in text
+    worst = report["aggregate"]["worst_requests"]["dp"][0]
+    assert worst["request"] in text
+    assert worst["node_id"] in text

@@ -151,3 +151,15 @@ def test_telemetry_fields_round_trip():
     with pytest.raises(ValueError, match="telemetry_interval_ms"):
         FleetSpec(name="t", nodes=[NodeSpec(node_id="a")],
                   telemetry_interval_ms=0)
+
+
+def test_spans_flag_round_trips_sparsely():
+    from repro.fleet.spec import FleetSpec, NodeSpec
+
+    spec = FleetSpec(name="s", nodes=[NodeSpec("n0")])
+    assert "spans" not in spec.to_dict()          # default stays sparse
+    spec.spans = True
+    data = spec.to_dict()
+    assert data["spans"] is True
+    restored = FleetSpec.from_dict(data)
+    assert restored.spans is True

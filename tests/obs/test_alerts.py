@@ -239,3 +239,86 @@ def test_default_rules_cover_paper_slos():
                      "probe_degraded"}
     monitor = SLOMonitor()          # defaults apply when rules omitted
     assert len(monitor.rules) == 3
+
+
+# -- exemplar linkage + end-of-run closure -------------------------------------
+
+
+class _FakeExemplars:
+    def worst_ids(self, channel):
+        return {"dp": ["pkt-7", "pkt-3"], "vm": ["vm2"]}.get(channel, [])
+
+
+def test_channel_for_signal_mapping():
+    from repro.obs.alerts import channel_for_signal
+
+    assert channel_for_signal("dp_rx_wait_us_p99") == "dp"
+    assert channel_for_signal("startup_slo_attainment_pct") == "vm"
+    assert channel_for_signal("vm_startup_ms_p99") == "vm"
+    assert channel_for_signal("probe_health") is None
+
+
+def test_raised_alert_references_worst_exemplars():
+    tracer = Tracer(enabled=True)
+    rules = [AlertRule(name="p99_high", signal="dp_rx_wait_us_p99",
+                       threshold=100.0, hold=1)]
+    bus = TelemetryBus(registry=MetricsRegistry(), interval_ns=1_000)
+    monitor = bus.subscribe(SLOMonitor(
+        rules=rules, tracer=tracer, exemplar_provider=_FakeExemplars()))
+    for _ in range(8):
+        bus.observe("dp_rx_wait_us", 500.0)
+    bus.tick(1_000)
+    assert "p99_high" in monitor.active
+    (raised,) = tracer.events
+    assert raised.detail["exemplars"] == ["pkt-7", "pkt-3"]
+
+
+def test_raised_alert_without_channel_has_no_exemplars():
+    tracer = Tracer(enabled=True)
+    rules = [AlertRule(name="degraded", signal="probe_health",
+                       threshold=1.0, op="lt", hold=1)]
+    bus, monitor, state = _driven_monitor(rules, tracer=tracer)
+    monitor.exemplar_provider = _FakeExemplars()
+    state["value"] = 0.0
+    bus.tick(1_000)
+    (raised,) = tracer.events
+    assert "exemplars" not in raised.detail
+
+
+def test_finish_emits_synthetic_clears_for_open_alerts():
+    tracer = Tracer(enabled=True)
+    rules = [AlertRule(name="degraded", signal="probe_health",
+                       threshold=1.0, op="lt", hold=1)]
+    bus, monitor, state = _driven_monitor(rules, tracer=tracer)
+    state["value"] = 0.0
+    bus.tick(1_000)
+    assert "degraded" in monitor.active
+
+    monitor.finish(now_ns=5_000)
+    monitor.finish(now_ns=9_000)       # idempotent: no second clear
+    kinds = [event.kind for event in tracer.events]
+    assert kinds == ["alert.raised", "alert.cleared"]
+    cleared = tracer.events[-1]
+    assert cleared.detail["end_of_run"] is True
+    assert cleared.detail["duration_ns"] == 4_000
+    assert cleared.ts_ns == 5_000
+    # The trace stream pairs up, but the summary still reports the
+    # incident as open.
+    assert check_events(tracer.events,
+                        checkers=[AlertPairingChecker()]) == []
+    assert monitor.summary()["active"] == ["degraded"]
+    assert monitor.cleared_total == 0
+    assert monitor.end_of_run_cleared == 1
+
+
+def test_bus_close_finishes_subscribed_monitor():
+    tracer = Tracer(enabled=True)
+    rules = [AlertRule(name="degraded", signal="probe_health",
+                       threshold=1.0, op="lt", hold=1)]
+    bus, monitor, state = _driven_monitor(rules, tracer=tracer)
+    state["value"] = 0.0
+    bus.tick(1_000)
+    bus.close(2_000)
+    kinds = [event.kind for event in tracer.events]
+    assert kinds.count("alert.cleared") == 1
+    assert tracer.events[-1].detail["end_of_run"] is True

@@ -122,3 +122,68 @@ def test_metrics_json_handles_enum_keys(tmp_path):
         doc = json.load(handle)
     assert doc["counters"]["c"] == 1
     assert doc["sources"]["s"]["reason"] == "halt"
+
+
+# -- span export ---------------------------------------------------------------
+
+
+def make_span_tracer():
+    tracer = Tracer(enabled=True)
+    tracer.record(1_000, 0, "span.begin", span="pkt-1#0", request="pkt-1",
+                  name="dp_request", channel="dp")
+    tracer.record(1_500, 0, "span.begin", span="pkt-1#1", request="pkt-1",
+                  name="stage", parent="pkt-1#0")
+    tracer.record(2_000, 0, "span.end", span="pkt-1#1", request="pkt-1",
+                  name="stage")
+    tracer.record(4_000, 2, "span.end", span="pkt-1#0", request="pkt-1",
+                  name="dp_request", duration_ns=3_000,
+                  parts=[["accel_preprocess", 1_000, 2_000],
+                         ["queued_behind", 2_000, 4_000]])
+    return tracer
+
+
+def test_span_pairs_become_async_events():
+    doc = chrome_trace(make_span_tracer())
+    begins = [e for e in doc["traceEvents"]
+              if e["ph"] == "b" and e["cat"] == "span"]
+    ends = [e for e in doc["traceEvents"]
+            if e["ph"] == "e" and e["cat"] == "span"]
+    # 2 spans + 2 critical-path parts, all keyed by the request id.
+    assert len(begins) == 4 and len(ends) == 4
+    assert {e["id"] for e in begins} == {"pkt-1"}
+    root_end = next(e for e in ends if e["name"] == "dp_request")
+    assert "parts" not in root_end["args"]          # parts become windows
+    assert root_end["args"]["duration_ns"] == 3_000
+    part_names = {e["name"] for e in begins} - {"dp_request", "stage"}
+    assert part_names == {"accel_preprocess", "queued_behind"}
+
+
+def test_root_span_emits_flow_arrow_between_cpus():
+    doc = chrome_trace(make_span_tracer())
+    flows = [e for e in doc["traceEvents"] if e.get("cat") == "span.flow"]
+    assert [e["ph"] for e in flows] == ["s", "f"]
+    start, finish = flows
+    assert start["id"] == finish["id"] == "flow:pkt-1"
+    assert start["tid"] != finish["tid"]            # cpu 0 -> cpu 2
+    assert finish["bp"] == "e"
+    # Child spans do not get flow arrows.
+    assert len(flows) == 2
+
+
+def test_other_data_streams_carry_trace_meta():
+    tracer = make_tracer()
+    doc = chrome_trace([("alpha", tracer), ("beta", make_span_tracer())])
+    streams = doc["otherData"]["streams"]
+    assert [s["stream"] for s in streams] == ["alpha", "beta"]
+    assert streams[0]["pid"] == 0 and streams[1]["pid"] == 1
+    for stream in streams:
+        assert stream["events"] > 0
+        assert "dropped" in stream
+    assert doc["otherData"]["dropped_events"] == 0
+
+
+def test_span_export_round_trips_json(tmp_path):
+    path = tmp_path / "spans.trace.json"
+    write_chrome_trace(str(path), make_span_tracer())
+    doc = json.loads(path.read_text())
+    assert any(e.get("cat") == "span" for e in doc["traceEvents"])

@@ -274,7 +274,7 @@ def test_default_checkers_cover_catalog():
     assert {checker.name for checker in default_checkers()} == {
         "monotonic_timestamps", "ipi_delivery_bound", "slice_pair_nesting",
         "single_cpu_per_thread", "idle_yield_threshold", "runqueue_depth",
-        "fault_recovery", "alert_pairing",
+        "fault_recovery", "alert_pairing", "span_pairing",
     }
 
 

@@ -1,0 +1,328 @@
+"""Causal request tracing: attribution exactness, exemplars, pairing.
+
+The load-bearing contract tested here is the exact partition: every
+completed root span's ``parts`` timeline sums to its end-to-end duration
+ns-exactly — including under fault injection, where delayed IPI delivery
+must surface as a wider ``ipi_deliver`` segment, never as an
+unexplained gap.
+"""
+
+import json
+
+import pytest
+
+from repro.metrics.timeline import TimelineEvent
+from repro.obs import check_events, observe, write_jsonl
+from repro.obs.analysis import (
+    critical_path_from_streams,
+    find_request_tree,
+    load_jsonl,
+)
+from repro.obs.invariants import SpanPairingChecker
+from repro.obs.spans import (
+    ExemplarReservoir,
+    SpanTracker,
+    build_span_trees,
+    dominant_segment,
+    format_critical_path,
+    format_waterfall,
+    merge_parts,
+    segment_totals,
+)
+from repro.obs.tracer import Tracer
+from repro.scenario import Scenario, run_soak
+from repro.sim.units import MILLISECONDS
+
+
+class _Env:
+    """A minimal environment stand-in: a clock and a tracer."""
+
+    def __init__(self):
+        self.now = 0
+        self.tracer = Tracer(enabled=True)
+
+
+def _tracker():
+    env = _Env()
+    tracker = SpanTracker(env)
+    tracker.enable()
+    return env, tracker
+
+
+def _parts_sum(parts):
+    return sum(hi - lo for _name, lo, hi in parts)
+
+
+def _assert_exact(record):
+    assert _parts_sum(record["parts"]) == record["duration_ns"]
+    assert sum(record["segments"].values()) == record["duration_ns"]
+
+
+# -- primitives ----------------------------------------------------------------
+
+
+def test_merge_parts_coalesces_and_drops_empty():
+    parts = merge_parts([["a", 0, 10], ["a", 10, 20], ["b", 20, 20],
+                         ["b", 20, 30], ["a", 30, 40]])
+    assert parts == [["a", 0, 20], ["b", 20, 30], ["a", 30, 40]]
+    assert segment_totals(parts) == {"a": 30, "b": 10}
+
+
+def test_dominant_segment_breaks_ties_deterministically():
+    assert dominant_segment({"b": 10, "a": 10}) == ("a", 50.0)
+    assert dominant_segment({}) == (None, 0.0)
+
+
+def test_exemplar_reservoir_is_bounded_and_worst_first():
+    reservoir = ExemplarReservoir(k=3)
+    for i, duration in enumerate([50, 300, 100, 200, 400, 10]):
+        reservoir.offer({"request": f"pkt-{i}", "duration_ns": duration})
+    assert reservoir.offered == 6
+    assert len(reservoir) == 3
+    assert reservoir.worst_ids() == ["pkt-4", "pkt-1", "pkt-3"]
+
+
+def test_exemplar_reservoir_ties_break_on_request_id():
+    reservoir = ExemplarReservoir(k=2)
+    for request in ("pkt-9", "pkt-2", "pkt-5"):
+        reservoir.offer({"request": request, "duration_ns": 100})
+    assert reservoir.worst_ids() == ["pkt-2", "pkt-5"]
+
+
+# -- flat-stream attribution ---------------------------------------------------
+
+
+def test_attribute_vcpu_slice_splits_body_and_switch_tail():
+    env, tracker = _tracker()
+    env.tracer.record(200, 1, "vmenter", vcpu="vm0.vcpu0")
+    env.tracer.record(1200, 1, "vmexit", vcpu="vm0.vcpu0",
+                      exit_cost_ns=300)
+    parts = tracker.attribute(1, 0, 2000, "queue_wait")
+    assert parts == [["queue_wait", 0, 200],
+                     ["vcpu_occupied", 200, 900],
+                     ["vmexit_switch", 900, 1200],
+                     ["queue_wait", 1200, 2000]]
+    assert _parts_sum(parts) == 2000
+
+
+def test_attribute_delayed_ipi_is_a_segment_not_a_gap():
+    # A fault-delayed IPI: sent at t=100, delivered 5us later.  The whole
+    # in-flight window must be claimed by ipi_deliver.
+    env, tracker = _tracker()
+    env.tracer.record(100, "-", "ipi_send", dst=0, vector="resched",
+                      routed=False)
+    env.tracer.record(5100, 0, "ipi_deliver", vector="resched")
+    parts = tracker.attribute(0, 0, 6000, "sched_delay")
+    assert parts == [["sched_delay", 0, 100],
+                     ["ipi_deliver", 100, 5100],
+                     ["sched_delay", 5100, 6000]]
+    assert _parts_sum(parts) == 6000
+
+
+def test_attribute_dropped_ipi_consumes_pending_send():
+    env, tracker = _tracker()
+    env.tracer.record(100, "-", "ipi_send", dst=0, vector="resched",
+                      routed=False)
+    env.tracer.record(150, 0, "fault.ipi_drop", vector="resched")
+    # A later delivery must not pair with the dropped send.
+    env.tracer.record(900, 0, "ipi_deliver", vector="resched")
+    parts = tracker.attribute(0, 0, 1000, "sched_delay")
+    assert parts == [["sched_delay", 0, 1000]]
+
+
+def test_attribute_probe_irq_window_counts_as_ipi():
+    env, tracker = _tracker()
+    env.tracer.record(100, 0, "hwprobe_irq", latency_ns=400)
+    parts = tracker.attribute(0, 0, 1000, "queue_wait")
+    assert parts == [["queue_wait", 0, 100],
+                     ["ipi_deliver", 100, 500],
+                     ["queue_wait", 500, 1000]]
+
+
+def test_attribute_overlap_deeper_activity_wins():
+    # DP service time [0, 1000) with an IPI in flight [200, 400): the
+    # IPI is deeper, so it claims its window.
+    env, tracker = _tracker()
+    tracker.register_dp_thread("dp-net0")
+    env.tracer.record(0, 0, "sched_in", thread="dp-net0")
+    env.tracer.record(200, "-", "ipi_send", dst=0, vector="resched",
+                      routed=False)
+    env.tracer.record(400, 0, "ipi_deliver", vector="resched")
+    env.tracer.record(1000, 0, "sched_out", thread="dp-net0")
+    parts = tracker.attribute(0, 0, 1000, "sched_delay")
+    assert parts == [["queued_behind", 0, 200],
+                     ["ipi_deliver", 200, 400],
+                     ["queued_behind", 400, 1000]]
+    assert _parts_sum(parts) == 1000
+
+
+def test_attribute_clips_open_intervals_to_window_end():
+    env, tracker = _tracker()
+    env.tracer.record(300, 2, "vmenter", vcpu="vm1.vcpu0")  # never exits
+    parts = tracker.attribute(2, 0, 1000, "queue_wait")
+    assert parts == [["queue_wait", 0, 300], ["vcpu_occupied", 300, 1000]]
+
+
+def test_attribute_empty_window_is_empty():
+    _env, tracker = _tracker()
+    assert tracker.attribute(0, 500, 500, "x") == []
+    assert tracker.attribute(0, 500, 400, "x") == []
+
+
+def test_interval_pruning_keeps_memory_bounded():
+    env, tracker = _tracker()
+    for i in range(3000):
+        env.now = i * 100
+        env.tracer.record(i * 100, 0, "hwprobe_irq", latency_ns=10)
+    # No open spans: old intervals are pruned against env.now.
+    assert len(tracker._cpu_iv[0]) <= 600
+
+
+# -- span emission and reconstruction ------------------------------------------
+
+
+def test_span_events_reconstruct_into_a_tree():
+    env, tracker = _tracker()
+    root = tracker.begin("dp_request", channel="dp", cpu_id=0)
+    env.now = 50
+    child = tracker.begin("stage", parent=root)
+    env.now = 80
+    tracker.end(child)
+    env.now = 100
+    record = tracker.end_root(root, [["wait", 0, 60], ["serve", 60, 100]])
+    _assert_exact(record)
+    assert record["dominant"] == "wait"
+
+    events = list(env.tracer)
+    assert check_events(events, checkers=[SpanPairingChecker()]) == []
+    trees = build_span_trees(events)
+    tree = trees[record["request"]]
+    assert tree["complete"]
+    assert tree["channel"] == "dp"
+    assert tree["duration_ns"] == 100
+    assert [s["name"] for s in tree["spans"]] == ["dp_request", "stage"]
+    assert _parts_sum(tree["parts"]) == 100
+
+
+def test_open_span_at_stream_end_is_legal_and_incomplete():
+    env, tracker = _tracker()
+    tracker.begin("dp_request", channel="dp", cpu_id=0)
+    events = list(env.tracer)
+    assert check_events(events, checkers=[SpanPairingChecker()]) == []
+    (tree,) = build_span_trees(events).values()
+    assert not tree["complete"]
+    assert tracker.open_spans() == 1
+
+
+def _ev(ts, kind, **detail):
+    return TimelineEvent(ts, "-", kind, detail)
+
+
+def test_span_pairing_checker_flags_violations():
+    def violations(events):
+        return check_events(events, checkers=[SpanPairingChecker()])
+
+    begin = _ev(0, "span.begin", span="r#0", request="r", name="root")
+    assert violations([begin, begin])  # begun twice
+    assert violations([_ev(0, "span.begin", span="c#1", request="r",
+                           name="child", parent="nope")])  # parent not open
+    assert violations([
+        begin,
+        _ev(1, "span.begin", span="x#1", request="other", name="child",
+            parent="r#0"),
+    ])  # request mismatch across the tree
+    assert violations([_ev(5, "span.end", span="ghost", request="r",
+                           name="root")])  # end without begin
+    assert violations([
+        begin,
+        _ev(1, "span.begin", span="r#1", request="r", name="child",
+            parent="r#0"),
+        _ev(2, "span.end", span="r#0", request="r", name="root"),
+    ])  # parent ended while child open
+    assert violations([
+        begin,
+        _ev(1, "span.begin", span="r#1", request="r", name="child",
+            parent="r#0"),
+        _ev(2, "span.end", span="r#1", request="r", name="child"),
+        _ev(3, "span.end", span="r#0", request="r", name="root"),
+    ]) == []
+
+
+# -- end-to-end through the soak driver ----------------------------------------
+
+
+def _soak_summary(arm="taichi", faults=None, spans=True, seed=0,
+                  duration_ms=120, check_invariants=False):
+    scenario = Scenario(arm=arm, faults=faults)
+    with observe(trace=True, check_invariants=check_invariants,
+                 spans=spans) as session:
+        summary = run_soak(scenario, seed=seed,
+                           duration_ns=duration_ms * MILLISECONDS,
+                           drain_ns=60 * MILLISECONDS, label="spans-test",
+                           spans=spans)
+    return summary, session
+
+
+def test_soak_exemplars_sum_exactly_for_both_channels():
+    summary, _session = _soak_summary(duration_ms=300)
+    exemplars = summary["exemplars"]
+    assert set(exemplars) >= {"dp", "vm"}
+    for channel, records in exemplars.items():
+        assert records, f"channel {channel} kept no exemplars"
+        for record in records:
+            _assert_exact(record)
+            assert record["end_ns"] - record["begin_ns"] == \
+                record["duration_ns"]
+    assert summary["spans"]["completed"] > 0
+
+
+def test_soak_exact_under_ipi_fault_injection():
+    summary, session = _soak_summary(faults="ipi_storm", duration_ms=300,
+                                     check_invariants=True)
+    assert summary["faults"]["injected"] > 0
+    for records in summary["exemplars"].values():
+        for record in records:
+            _assert_exact(record)
+    assert session.violations() == []
+
+
+def test_spans_do_not_perturb_the_simulation():
+    # The determinism contract: spans only read state and record events,
+    # so the summary minus the span-only keys is byte-identical.
+    with_spans, _ = _soak_summary(spans=True)
+    without, _ = _soak_summary(spans=False)
+    assert "exemplars" not in without and "spans" not in without
+    stripped = {key: value for key, value in with_spans.items()
+                if key not in ("exemplars", "spans")}
+    assert json.dumps(stripped, sort_keys=True, default=str) == \
+        json.dumps(without, sort_keys=True, default=str)
+
+
+def test_capture_round_trip_critical_path_and_waterfall(tmp_path):
+    summary, session = _soak_summary()
+    path = tmp_path / "spans.jsonl"
+    write_jsonl(str(path), session.streams)
+
+    streams = load_jsonl(str(path))
+    trees, report = critical_path_from_streams(streams)
+    assert "dp" in report
+    block = report["dp"]
+    assert block["complete"] == summary["spans"]["completed"]
+    assert block["tail_dominant"] is not None
+    total_pct = sum(seg["share_pct"] for seg in block["segments"].values())
+    assert total_pct == pytest.approx(100.0, abs=0.5)
+    # Reconstructed trees carry the same exactness guarantee.
+    for exemplar in block["exemplars"]:
+        tree = trees[exemplar["request"]]
+        assert _parts_sum(tree["parts"]) == tree["duration_ns"]
+
+    text = format_critical_path(report)
+    assert "tail dominated by" in text
+    worst = block["exemplars"][0]["request"]
+    assert worst in text
+    waterfall = format_waterfall(find_request_tree(str(path), worst))
+    assert worst in waterfall and "critical path:" in waterfall
+
+
+def test_format_critical_path_empty_capture():
+    assert "no spans" in format_critical_path({})

@@ -73,3 +73,48 @@ def test_parse_arm_list():
         parse_arm_list("baseline,bogus")
     with pytest.raises(ValueError, match="at least one"):
         parse_arm_list(" , ")
+
+
+def test_spans_off_summary_has_no_span_keys():
+    summary = run_soak(Scenario(arm="taichi"), seed=0,
+                       duration_ns=40 * MILLISECONDS,
+                       drain_ns=20 * MILLISECONDS)
+    assert "exemplars" not in summary
+    assert "spans" not in summary
+
+
+def test_spans_on_summary_carries_bounded_exemplars():
+    summary = run_soak(Scenario(arm="taichi"), seed=0,
+                       duration_ns=80 * MILLISECONDS,
+                       drain_ns=40 * MILLISECONDS, spans=True,
+                       exemplar_k=2)
+    assert summary["spans"]["completed"] > 0
+    exemplars = summary["exemplars"]
+    assert "dp" in exemplars
+    for channel, records in exemplars.items():
+        assert 1 <= len(records) <= 2          # bounded at K
+        for record in records:
+            assert sum(hi - lo for _n, lo, hi in record["parts"]) == \
+                record["duration_ns"]
+            assert record["dominant"] in record["segments"]
+
+
+def test_alert_raised_references_live_exemplars():
+    from repro.obs import observe
+
+    scenario = Scenario(arm="taichi", alerts=[
+        {"name": "dp_touchy", "signal": "dp_rx_wait_us_p99",
+         "threshold": 0.000001, "hold": 1},
+    ])
+    with observe(trace=True) as session:
+        summary = run_soak(scenario, seed=0,
+                           duration_ns=80 * MILLISECONDS,
+                           drain_ns=40 * MILLISECONDS, label="alert-spans",
+                           spans=True)
+    assert summary["telemetry"]["alerts"]["raised"] >= 1
+    raised = [event for _label, tracer in session.streams
+              for event in tracer if event.kind == "alert.raised"]
+    assert raised
+    exemplar_ids = raised[0].detail["exemplars"]
+    assert exemplar_ids
+    assert all(request.startswith("pkt-") for request in exemplar_ids)
