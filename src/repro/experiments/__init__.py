@@ -20,6 +20,7 @@ from repro.experiments import (  # noqa: F401  (import-for-side-effect)
     ablation_adaptive,
     ext_fault_resilience,
     ext_features,
+    ext_fleet_durability,
     ext_fleet_scale,
     ext_production_soak,
     ext_window_sweep,

@@ -169,6 +169,32 @@ def main(argv=None):
                                    "node; summaries carry tail exemplars "
                                    "and the aggregate a fleet-wide "
                                    "worst-request table ('top' renders it)")
+    fleet_parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                              help="journal each node's outcome as it "
+                                   "completes (atomic per-node JSON); an "
+                                   "interrupted run continues with --resume")
+    fleet_parser.add_argument("--resume", action="store_true",
+                              help="skip nodes already journaled in "
+                                   "--checkpoint-dir; the resumed run's "
+                                   "final JSON is byte-identical to an "
+                                   "uninterrupted one")
+    fleet_parser.add_argument("--allow-failures", action="store_true",
+                              help="exit 0 with a degraded report when "
+                                   "nodes fail terminally (default: render "
+                                   "the degraded report and exit 1)")
+    fleet_parser.add_argument("--max-attempts", type=int, default=None,
+                              metavar="N",
+                              help="override the spec's retry policy: total "
+                                   "attempts per node (1 = no retry)")
+    fleet_parser.add_argument("--retry-backoff-s", type=float, default=None,
+                              metavar="S",
+                              help="override the retry backoff before the "
+                                   "second attempt (doubles per attempt)")
+    fleet_parser.add_argument("--node-timeout-s", type=float, default=None,
+                              metavar="S",
+                              help="per-attempt wall-clock budget per node "
+                                   "(pooled runs only; a stuck worker is "
+                                   "shed and the pool rebuilt)")
 
     top_parser = sub.add_parser(
         "top",
@@ -281,9 +307,10 @@ def main(argv=None):
 
     if args.command == "fleet":
         from repro.fleet import (
-            FleetRunner, format_fleet_text, load_fleet_spec,
-            write_fleet_json, write_fleet_md,
+            FleetRunFailed, FleetRunner, format_fleet_text, load_fleet_spec,
+            verify_fleet_report, write_fleet_json, write_fleet_md,
         )
+        from repro.fleet.durability import retry_with
 
         spec = load_fleet_spec(args.spec)
         if args.seed is not None:
@@ -296,11 +323,18 @@ def main(argv=None):
             spec.spans = True
         if args.telemetry_interval_ms is not None:
             spec.telemetry_interval_ms = args.telemetry_interval_ms
+        retry = retry_with(spec.retry, max_attempts=args.max_attempts,
+                           backoff_s=args.retry_backoff_s,
+                           timeout_s=args.node_timeout_s)
         runner = FleetRunner(spec, jobs=args.jobs, scale=args.scale,
                              capture_dir=args.capture_dir,
                              check_invariants=args.check_invariants,
-                             telemetry_dir=args.telemetry_dir)
+                             telemetry_dir=args.telemetry_dir,
+                             retry=retry,
+                             checkpoint_dir=args.checkpoint_dir,
+                             resume=args.resume, allow_failures=True)
         report = runner.run()
+        failed = (report["aggregate"].get("failed_nodes") or [])
         print(format_fleet_text(report))
         if args.out:
             write_fleet_md(args.out, report)
@@ -313,8 +347,21 @@ def main(argv=None):
         if args.telemetry_dir:
             print(f"wrote per-node telemetry, merged.jsonl and "
                   f"fleet.openmetrics to {args.telemetry_dir}/")
+        if args.checkpoint_dir:
+            print(f"journaled node outcomes to {args.checkpoint_dir}/ "
+                  f"(resume with --resume)")
+        if args.check_invariants:
+            problems = verify_fleet_report(report)
+            if problems:
+                print("FLEET REPORT INCONSISTENT:")
+                for problem in problems:
+                    print(f"  {problem}")
+                return 1
         if (args.check_invariants
                 and not report["aggregate"]["fleet"]["invariants_ok"]):
+            return 1
+        if failed and not args.allow_failures:
+            print(str(FleetRunFailed(failed, report)), file=sys.stderr)
             return 1
         return 0
 

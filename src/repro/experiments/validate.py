@@ -165,6 +165,22 @@ EXPECTATIONS = {
                     lambda d: d["taichi_startup_slo_pct"]
                     > d["static_startup_slo_pct"]),
     ],
+    "ext_fleet_durability": [
+        Expectation("fleet completes degraded with partial coverage",
+                    lambda d: d["degraded"]
+                    and 0.0 < d["coverage_fraction"] < 1.0),
+        Expectation("only the permanent failer lands in failed_nodes",
+                    lambda d: d["failed_nodes"] == 1
+                    and d["permanent_contained"]),
+        Expectation("the transient node recovers via retry",
+                    lambda d: d["transient_recovered"]
+                    and d["transient_attempts"] == 2),
+        Expectation("a retried success is byte-identical to first-try",
+                    lambda d: d["retry_summary_identical"]),
+        Expectation("resume reproduces the uninterrupted report exactly",
+                    lambda d: d["resume_identical"]
+                    and d["resumed_nodes"] > 0),
+    ],
     "ext_production_soak": [
         Expectation("Tai Chi adds no DP tail latency (p999 within 10% of "
                     "the static baseline)",
@@ -222,7 +238,8 @@ def run_validation(scale=1.0, seed=0, exp_ids=None, progress=None, jobs=1):
     exp_ids = sorted(EXPERIMENTS) if exp_ids is None else list(exp_ids)
     payloads = [(exp_id, scale, seed) for exp_id in exp_ids]
     outcomes = []
-    for outcome in pool_imap(_validate_one, payloads, jobs=jobs):
+    for outcome in pool_imap(_validate_one, payloads, jobs=jobs,
+                             label=lambda payload: payload[0]):
         outcomes.append(outcome)
         if progress is not None:
             status = "OK " if all(ok for _, ok in outcome["checks"]) else "FAIL"

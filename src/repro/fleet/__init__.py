@@ -25,8 +25,17 @@ See ``docs/fleet.md`` for the scenario format and determinism contract.
 """
 
 from repro.fleet.aggregate import aggregate_fleet, aggregate_nodes, worst_nodes
+from repro.fleet.durability import (
+    CheckpointError,
+    FleetCheckpoint,
+    FleetRunFailed,
+    InjectedWorkerFault,
+    NodeFailure,
+    RetryPolicy,
+    verify_fleet_report,
+)
 from repro.fleet.node import node_seed, run_node
-from repro.fleet.pool import pool_imap, pool_map
+from repro.fleet.pool import Outcome, PoolTaskError, pool_imap, pool_map, pool_outcomes
 from repro.fleet.report import (
     canonical_report,
     fleet_markdown,
@@ -54,10 +63,18 @@ from repro.fleet.spec import (
 )
 
 __all__ = [
+    "CheckpointError",
+    "FleetCheckpoint",
+    "FleetRunFailed",
     "FleetRunner",
     "FleetSpec",
+    "InjectedWorkerFault",
+    "NodeFailure",
     "NodeSpec",
+    "Outcome",
     "PRESETS",
+    "PoolTaskError",
+    "RetryPolicy",
     "TRAFFIC_PROFILES",
     "WorkloadMix",
     "aggregate_fleet",
@@ -73,10 +90,12 @@ __all__ = [
     "node_seed",
     "pool_imap",
     "pool_map",
+    "pool_outcomes",
     "render_top",
     "run_fleet",
     "run_node",
     "uniform_spec",
+    "verify_fleet_report",
     "worst_nodes",
     "write_fleet_json",
     "write_fleet_telemetry",

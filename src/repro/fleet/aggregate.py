@@ -146,8 +146,19 @@ def worst_requests(nodes, k=_WORST_REQUESTS_K):
     return out
 
 
-def aggregate_fleet(nodes):
-    """The full fleet report block: fleet + per-class + worst nodes."""
+def aggregate_fleet(nodes, failures=None, expected_nodes=None):
+    """The full fleet report block: fleet + per-class + worst nodes.
+
+    ``failures`` (a list of normalized failure envelopes — node id,
+    kind, attempts, error, traceback tail) makes the aggregate accept a
+    *partial* fleet: every statistic and SLO-attainment figure is
+    computed over the surviving nodes only, and the block gains a
+    ``failed_nodes`` table (sorted by node id), ``degraded: true`` and
+    a ``coverage`` fraction against ``expected_nodes`` (defaults to
+    survivors + failures).  A failure-free fleet emits none of these
+    keys, keeping healthy reports byte-identical to pre-durability
+    ones.
+    """
     classes = {}
     for node in nodes:
         classes.setdefault(node["deployment"], []).append(node)
@@ -162,4 +173,17 @@ def aggregate_fleet(nodes):
         # Only present on spans-on fleets, keeping spans-off reports
         # byte-identical to pre-span ones.
         out["worst_requests"] = requests
+    failures = list(failures or ())
+    if failures:
+        expected = (int(expected_nodes) if expected_nodes is not None
+                    else len(nodes) + len(failures))
+        out["degraded"] = True
+        out["coverage"] = {
+            "expected": expected,
+            "completed": len(nodes),
+            "fraction": len(nodes) / expected if expected else 0.0,
+        }
+        out["failed_nodes"] = sorted(
+            (dict(failure) for failure in failures),
+            key=lambda failure: failure["node_id"])
     return out

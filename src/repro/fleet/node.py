@@ -17,6 +17,8 @@ this to produce byte-identical reports at any ``--jobs`` level.
 
 import os
 
+from repro.fleet.durability import failure_envelope, maybe_inject_chaos
+
 # The canonical attainment helper lives in repro.metrics.stats; re-exported
 # because the aggregator and tests historically import it from here.
 from repro.fleet.spec import NodeSpec
@@ -43,7 +45,27 @@ def run_node(payload):
     target dir or None), ``telemetry_interval_ms`` and ``spans``
     (causal request tracing: the summary gains per-channel tail
     exemplars the aggregator pools into the fleet worst-request table).
+
+    Containment contract: this worker *never raises*.  Any exception —
+    including an injected ``chaos`` fault for this ``attempt`` — comes
+    back as a :func:`~repro.fleet.durability.failure_envelope` built
+    here in the worker, so the traceback tail reflects the real raise
+    site and the envelope is byte-identical at any ``--jobs`` level.
+    (A chaos entry of kind ``"crash"`` in a pooled run is the one
+    exception: it hard-exits the process to exercise the pool-rebuild
+    path.)
     """
+    node_id = (payload.get("node") or {}).get("node_id", "?")
+    attempt = int(payload.get("attempt", 1))
+    try:
+        maybe_inject_chaos(payload.get("chaos"), node_id, attempt,
+                           parallel=bool(payload.get("parallel")))
+        return _run_node(payload)
+    except Exception as exc:
+        return failure_envelope(node_id, attempt, exc)
+
+
+def _run_node(payload):
     node = NodeSpec.from_dict(payload["node"])
     capture_path = payload.get("capture_path")
     check_invariants = bool(payload.get("check_invariants", False))

@@ -81,6 +81,29 @@ def _aggregate_lines(title, block):
     return lines
 
 
+def _failure_lines(aggregate):
+    """The degraded-fleet block: coverage headline + failure table."""
+    if not aggregate.get("degraded"):
+        return []
+    coverage = aggregate["coverage"]
+    failed = aggregate["failed_nodes"]
+    lines = [
+        f"-- DEGRADED: {len(failed)} of {coverage['expected']} nodes "
+        f"failed (coverage {coverage['fraction'] * 100.0:.1f}%, "
+        f"SLOs scored over {coverage['completed']} survivors) --"
+    ]
+    lines.append(format_table([
+        {
+            "node": failure["node_id"],
+            "kind": failure["kind"],
+            "attempts": failure["attempts"],
+            "error": failure["error"][:72],
+        }
+        for failure in failed
+    ]))
+    return lines
+
+
 def format_fleet_text(report):
     """Render a runner report for the terminal (includes wall-clock)."""
     spec = report["spec"]
@@ -91,10 +114,20 @@ def format_fleet_text(report):
         f"seed {spec['seed']}, scale {report['scale']:g} =="
     ]
     if timing:
+        extras = ""
+        if timing.get("retried"):
+            extras += f", {len(timing['retried'])} node(s) retried"
+        if timing.get("resumed_nodes"):
+            extras += (f", {len(timing['resumed_nodes'])} resumed from "
+                       f"checkpoint")
         lines.append(
-            f"[{timing['wall_s']:.1f}s wall at --jobs {timing['jobs']}]")
+            f"[{timing['wall_s']:.1f}s wall at --jobs {timing['jobs']}"
+            f"{extras}]")
     lines.append("")
-    lines.append(format_table(_node_rows(report["nodes"])))
+    if report["nodes"]:
+        lines.append(format_table(_node_rows(report["nodes"])))
+    else:
+        lines.append("(no nodes completed)")
     lines.append("")
     lines.extend(_aggregate_lines("fleet-wide", aggregate["fleet"]))
     for name, block in aggregate["classes"].items():
@@ -111,6 +144,7 @@ def format_fleet_text(report):
                 f"  startup attainment: "
                 f"{worst['startup_attainment']['node_id']} "
                 f"({worst['startup_attainment']['value_pct']:.2f}%)")
+    lines.extend(_failure_lines(aggregate))
     if not aggregate["fleet"]["invariants_ok"]:
         lines.append(
             f"INVARIANT VIOLATIONS: "

@@ -17,6 +17,8 @@ makes results byte-identical at any ``--jobs`` level.
 import json
 from dataclasses import dataclass, replace
 
+from repro.fleet.durability import RetryPolicy, normalize_chaos
+
 # WorkloadMix and TRAFFIC_PROFILES moved to repro.scenario.spec with the
 # scenario layer; re-exported here because fleet callers predate it.
 from repro.scenario.spec import (  # noqa: F401
@@ -131,6 +133,14 @@ class FleetSpec:
     when the runner is given a telemetry directory.  ``spans`` turns on
     causal request tracing on every node: each summary then carries its
     tail exemplars and the fleet aggregate a ``worst_requests`` table.
+
+    ``retry`` is the fleet's durability contract — a
+    :class:`~repro.fleet.durability.RetryPolicy` (or its dict) giving
+    every node its attempt budget, backoff and per-attempt timeout.
+    ``chaos`` injects worker faults for durability testing:
+    ``{node_id: N}`` fails that node's first N attempts (``-1`` = every
+    attempt; dict form adds ``"kind": "exception" | "crash"``).  Both
+    are plain data and round-trip through spec JSON.
     """
 
     name: str
@@ -142,6 +152,8 @@ class FleetSpec:
     raw_samples: bool = False
     telemetry_interval_ms: float = 10.0
     spans: bool = False
+    retry: object = None
+    chaos: object = None
 
     def __post_init__(self):
         if not isinstance(self.name, str) or not self.name:
@@ -168,6 +180,9 @@ class FleetSpec:
         if self.telemetry_interval_ms <= 0:
             raise ValueError("telemetry_interval_ms must be positive")
         self.spans = bool(self.spans)
+        if self.retry is not None:
+            self.retry = RetryPolicy.from_value(self.retry)
+        self.chaos = normalize_chaos(self.chaos)
 
     def with_seed(self, seed):
         """A copy rooted at a different seed (CLI ``--seed`` override)."""
@@ -196,6 +211,11 @@ class FleetSpec:
             data["telemetry_interval_ms"] = self.telemetry_interval_ms
         if self.spans:
             data["spans"] = True
+        if self.retry is not None:
+            data["retry"] = self.retry.to_dict()
+        if self.chaos:
+            data["chaos"] = {node_id: dict(entry)
+                             for node_id, entry in self.chaos.items()}
         return data
 
     def to_json(self, path):

@@ -238,37 +238,55 @@ def render_top(source):
 
     Given a fleet JSON report from a spans-on run, a second table lists
     the fleet-wide worst requests (the pooled tail exemplars) under the
-    health rows — node, request id, duration, dominant segment.
+    health rows — node, request id, duration, dominant segment.  A
+    degraded report (nodes failed terminally) adds a failed-node table
+    with each node's failure kind, attempt count and error.
     """
     from repro.experiments.report import format_table
 
     worst_requests = {}
+    failed_nodes = []
+    coverage = None
     if os.path.isdir(source):
         rows = fleet_health_rows(source)
     else:
         with open(source) as handle:
             report = json.load(handle)
         nodes = report.get("nodes")
-        if not nodes:
+        aggregate = report.get("aggregate") or {}
+        failed_nodes = aggregate.get("failed_nodes") or []
+        coverage = aggregate.get("coverage")
+        if not nodes and not failed_nodes:
             raise ValueError(f"{source!r} is not a fleet report (no nodes)")
-        rows = [_node_row_from_summary(node) for node in nodes]
-        worst_requests = (report.get("aggregate") or {}).get(
-            "worst_requests") or {}
+        rows = [_node_row_from_summary(node) for node in nodes or []]
+        worst_requests = aggregate.get("worst_requests") or {}
     worst = max(
         (row for row in rows if row["dp_p99_us"] is not None),
         key=lambda row: row["dp_p99_us"], default=None)
     alerting = [row["node"] for row in rows if row["alerts"] != "-"]
     degraded = [row["node"] for row in rows if row["probe"] != "ok"]
     lines = [f"== fleet top: {len(rows)} nodes =="]
-    lines.append(format_table(rows))
+    if rows:
+        lines.append(format_table(rows))
     if worst is not None:
         lines.append(f"worst dp p99: {worst['node']} "
                      f"({worst['dp_p99_us']:.1f}us)")
     if degraded:
         lines.append(f"probe degraded: {', '.join(degraded)}")
+    if failed_nodes:
+        lines.append(
+            f"== failed nodes: {len(failed_nodes)}"
+            + (f" (coverage {coverage['fraction'] * 100.0:.1f}%)"
+               if coverage else "") + " ==")
+        lines.append(format_table([
+            {"node": failure["node_id"], "kind": failure["kind"],
+             "attempts": failure["attempts"],
+             "error": failure["error"][:60]}
+            for failure in failed_nodes
+        ]))
     if alerting:
         lines.append(f"alerting: {', '.join(alerting)}")
-    elif not degraded:
+    elif not degraded and not failed_nodes:
         lines.append("all nodes healthy")
     if worst_requests:
         request_rows = [

@@ -168,3 +168,37 @@ def test_zero_sample_class_reports_count_zero():
     assert block["startup_ms"] == {"count": 0}
     assert block["dp_slo_attainment_pct"] == 100.0   # vacuous
     assert block["startup_slo_attainment_pct"] == 100.0
+
+
+def test_failures_produce_degraded_block():
+    a = _node("a", "taichi", [10.0, 20.0], [100.0])
+    failure = {"node_id": "b", "kind": "exception", "attempts": 2,
+               "error": "ValueError('x')", "traceback": []}
+    out = aggregate_fleet([a], failures=[failure], expected_nodes=2)
+    assert out["degraded"] is True
+    assert out["coverage"] == {"expected": 2, "completed": 1,
+                               "fraction": 0.5}
+    assert out["failed_nodes"] == [failure]
+    # SLOs are scored over the survivors only.
+    assert out["fleet"]["nodes"] == 1
+
+
+def test_failed_nodes_sorted_by_node_id():
+    a = _node("a", "taichi", [10.0], [100.0])
+    failures = [
+        {"node_id": "z", "kind": "crash", "attempts": 1, "error": "e",
+         "traceback": []},
+        {"node_id": "b", "kind": "exception", "attempts": 3, "error": "e",
+         "traceback": []},
+    ]
+    out = aggregate_fleet([a], failures=failures, expected_nodes=3)
+    assert [f["node_id"] for f in out["failed_nodes"]] == ["b", "z"]
+    assert out["coverage"]["fraction"] == 1 / 3
+
+
+def test_no_failures_no_degraded_keys():
+    a = _node("a", "taichi", [10.0], [100.0])
+    out = aggregate_fleet([a], failures=[], expected_nodes=1)
+    assert "degraded" not in out
+    assert "coverage" not in out
+    assert "failed_nodes" not in out

@@ -1,0 +1,367 @@
+"""Durability layer: retry policy, chaos, degraded runs, checkpoint/resume."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.fleet import (
+    CheckpointError,
+    FleetCheckpoint,
+    FleetRunFailed,
+    FleetRunner,
+    InjectedWorkerFault,
+    RetryPolicy,
+    canonical_report,
+    format_fleet_text,
+    render_top,
+    uniform_spec,
+    verify_fleet_report,
+    write_fleet_json,
+)
+from repro.fleet.durability import (
+    checkpoint_entry,
+    failure_envelope,
+    is_failure_envelope,
+    maybe_inject_chaos,
+    normalize_chaos,
+    payload_fingerprint,
+    retry_with,
+)
+
+
+def _tiny_spec(n_nodes=3, **kwargs):
+    kwargs.setdefault("duration_ms", 40.0)
+    kwargs.setdefault("drain_ms", 20.0)
+    return uniform_spec("tiny", "taichi", n_nodes, **kwargs)
+
+
+def _with(spec, **kwargs):
+    return dataclasses.replace(spec, nodes=list(spec.nodes), **kwargs)
+
+
+def _canonical_json(report):
+    return json.dumps(canonical_report(report), sort_keys=True)
+
+
+# -- RetryPolicy ---------------------------------------------------------------
+
+
+def test_retry_policy_defaults_mean_no_retry():
+    policy = RetryPolicy()
+    assert policy.max_attempts == 1
+    assert policy.delay_s(1) == 0.0
+    assert policy.delay_s(5) == 0.0
+    assert policy.timeout_for(1) is None
+
+
+def test_retry_policy_backoff_and_timeout_schedules():
+    policy = RetryPolicy(max_attempts=4, backoff_s=0.5,
+                         backoff_multiplier=3.0, timeout_s=2.0,
+                         timeout_multiplier=2.0)
+    assert policy.delay_s(1) == 0.0          # first attempt never waits
+    assert policy.delay_s(2) == 0.5
+    assert policy.delay_s(3) == 1.5
+    assert policy.delay_s(4) == 4.5
+    assert policy.timeout_for(1) == 2.0
+    assert policy.timeout_for(3) == 8.0
+
+
+@pytest.mark.parametrize("bad", [
+    {"max_attempts": 0},
+    {"backoff_s": -1.0},
+    {"backoff_multiplier": 0.5},
+    {"timeout_s": 0.0},
+    {"timeout_multiplier": 0.9},
+])
+def test_retry_policy_validation(bad):
+    with pytest.raises(ValueError):
+        RetryPolicy(**bad)
+
+
+def test_retry_policy_round_trips_sparsely():
+    assert RetryPolicy().to_dict() == {"max_attempts": 1}
+    policy = RetryPolicy(max_attempts=3, backoff_s=0.1, timeout_s=5.0)
+    assert RetryPolicy.from_value(policy.to_dict()) == policy
+    assert RetryPolicy.from_value(None) == RetryPolicy()
+    assert RetryPolicy.from_value(policy) is policy
+    with pytest.raises(ValueError, match="retry must be"):
+        RetryPolicy.from_value("twice")
+
+
+def test_retry_with_overrides():
+    base = RetryPolicy(max_attempts=2, backoff_s=0.2)
+    bumped = retry_with(base, max_attempts=5, timeout_s=1.0)
+    assert bumped.max_attempts == 5
+    assert bumped.backoff_s == 0.2
+    assert bumped.timeout_s == 1.0
+    assert retry_with(base) is base
+
+
+# -- Envelopes and chaos -------------------------------------------------------
+
+
+def test_failure_envelope_shape():
+    try:
+        raise ValueError("kaboom")
+    except ValueError as exc:
+        envelope = failure_envelope("node-07", 2, exc)
+    assert is_failure_envelope(envelope)
+    assert envelope["node_id"] == "node-07"
+    assert envelope["attempt"] == 2
+    assert envelope["kind"] == "exception"
+    assert envelope["error"] == "ValueError('kaboom')"
+    assert any("kaboom" in line for line in envelope["traceback"])
+    assert not is_failure_envelope({"node_id": "x"})
+    assert not is_failure_envelope("nope")
+
+
+def test_normalize_chaos_forms():
+    assert normalize_chaos(None) is None
+    out = normalize_chaos({"b": 2, "a": {"fail_attempts": -1,
+                                         "kind": "crash"}})
+    assert list(out) == ["a", "b"]  # canonical sorted order
+    assert out["a"] == {"fail_attempts": -1, "kind": "crash"}
+    assert out["b"] == {"fail_attempts": 2, "kind": "exception"}
+    with pytest.raises(ValueError, match="must be a dict"):
+        normalize_chaos(["a"])
+    with pytest.raises(ValueError, match="int or a dict"):
+        normalize_chaos({"a": "always"})
+    with pytest.raises(ValueError, match="kind"):
+        normalize_chaos({"a": {"kind": "meteor"}})
+
+
+def test_maybe_inject_chaos_counts_attempts():
+    entry = normalize_chaos({"n": 2})["n"]
+    with pytest.raises(InjectedWorkerFault):
+        maybe_inject_chaos(entry, "n", 1)
+    with pytest.raises(InjectedWorkerFault):
+        maybe_inject_chaos(entry, "n", 2)
+    maybe_inject_chaos(entry, "n", 3)       # past the budget: quiet
+    maybe_inject_chaos(None, "n", 1)        # no entry: quiet
+    forever = normalize_chaos({"n": -1})["n"]
+    with pytest.raises(InjectedWorkerFault):
+        maybe_inject_chaos(forever, "n", 99)
+
+
+def test_crash_kind_degrades_to_exception_serially():
+    entry = normalize_chaos({"n": {"fail_attempts": -1, "kind": "crash"}})["n"]
+    # parallel=False must never os._exit the calling process.
+    with pytest.raises(InjectedWorkerFault):
+        maybe_inject_chaos(entry, "n", 1, parallel=False)
+
+
+# -- Degraded fleet runs -------------------------------------------------------
+
+
+def _degraded_spec(n_nodes=3):
+    spec = _tiny_spec(n_nodes)
+    # node-01 fails forever; node-02 fails once and recovers on retry.
+    return _with(spec, chaos={"node-01": -1, "node-02": 1},
+                 retry={"max_attempts": 2})
+
+
+def test_degraded_run_contains_failures():
+    report = FleetRunner(_degraded_spec(), scale=0.5,
+                         allow_failures=True).run()
+    aggregate = report["aggregate"]
+    assert aggregate["degraded"] is True
+    assert aggregate["coverage"] == {"expected": 3, "completed": 2,
+                                     "fraction": 2 / 3}
+    (failure,) = aggregate["failed_nodes"]
+    assert failure["node_id"] == "node-01"
+    assert failure["kind"] == "exception"
+    assert failure["attempts"] == 2
+    assert "InjectedWorkerFault" in failure["error"]
+    assert failure["traceback"]
+    assert [node["node_id"] for node in report["nodes"]] == [
+        "node-00", "node-02"]
+    assert report["timing"]["retried"] == {"node-02": 2}
+    assert verify_fleet_report(report) == []
+
+
+def test_degraded_run_raises_without_allow_failures():
+    with pytest.raises(FleetRunFailed, match="node-01") as excinfo:
+        FleetRunner(_degraded_spec(), scale=0.5).run()
+    # The degraded report still rode along for rendering/salvage.
+    report = excinfo.value.report
+    assert report["aggregate"]["degraded"] is True
+    assert excinfo.value.failures[0]["node_id"] == "node-01"
+    assert "--allow-failures" in str(excinfo.value)
+
+
+def test_degraded_run_byte_identical_across_jobs():
+    spec = _degraded_spec()
+    serial = FleetRunner(spec, jobs=1, scale=0.5, allow_failures=True).run()
+    parallel = FleetRunner(spec, jobs=3, scale=0.5,
+                           allow_failures=True).run()
+    assert _canonical_json(serial) == _canonical_json(parallel)
+
+
+def test_retry_success_is_byte_identical_to_first_try():
+    base = _tiny_spec()
+    clean = FleetRunner(base, scale=0.5).run()
+    chaotic = FleetRunner(
+        _with(base, chaos={"node-02": 1}, retry={"max_attempts": 2}),
+        scale=0.5).run()
+    clean_node = [node for node in clean["nodes"]
+                  if node["node_id"] == "node-02"]
+    retried_node = [node for node in chaotic["nodes"]
+                    if node["node_id"] == "node-02"]
+    assert json.dumps(retried_node, sort_keys=True) == json.dumps(
+        clean_node, sort_keys=True)
+    assert chaotic["timing"]["retried"] == {"node-02": 2}
+
+
+def test_healthy_report_has_no_degraded_keys():
+    # Backward compatibility: durability must not change healthy output.
+    report = FleetRunner(_tiny_spec(2), scale=0.5).run()
+    aggregate = report["aggregate"]
+    assert "degraded" not in aggregate
+    assert "coverage" not in aggregate
+    assert "failed_nodes" not in aggregate
+    assert verify_fleet_report(report) == []
+
+
+def test_degraded_report_renders(tmp_path):
+    report = FleetRunner(_degraded_spec(), scale=0.5,
+                         allow_failures=True).run()
+    text = format_fleet_text(report)
+    assert "DEGRADED: 1 of 3 nodes failed" in text
+    assert "node-01" in text
+    assert "1 node(s) retried" in text
+    path = write_fleet_json(str(tmp_path / "fleet.json"), report)
+    top = render_top(path)
+    assert "failed nodes: 1" in top
+    assert "coverage 66.7%" in top
+    assert "all nodes healthy" not in top
+
+
+def test_verify_fleet_report_detects_tampering():
+    report = FleetRunner(_degraded_spec(), scale=0.5,
+                         allow_failures=True).run()
+    assert verify_fleet_report(report) == []
+    broken = json.loads(json.dumps(report))
+    broken["aggregate"]["coverage"]["completed"] = 3
+    assert any("coverage" in problem
+               for problem in verify_fleet_report(broken))
+    broken = json.loads(json.dumps(report))
+    broken["aggregate"]["failed_nodes"][0]["node_id"] = "node-00"
+    assert any("both failed and survived" in problem
+               for problem in verify_fleet_report(broken))
+    broken = json.loads(json.dumps(report))
+    del broken["aggregate"]["degraded"]
+    assert any("degraded flag" in problem
+               for problem in verify_fleet_report(broken))
+
+
+# -- Checkpoint / resume -------------------------------------------------------
+
+
+def test_checkpoint_journal_is_atomic_per_node(tmp_path):
+    checkpoint = FleetCheckpoint(str(tmp_path / "ckpt"))
+    entry = checkpoint_entry("node-00", "abcd", summary={"node_id":
+                                                         "node-00"})
+    path = checkpoint.journal(entry)
+    assert path.endswith("node-00.node.json")
+    assert not os.path.exists(path + ".tmp")
+    assert checkpoint.load() == {"node-00": entry}
+    with pytest.raises(ValueError, match="exactly one"):
+        checkpoint_entry("node-00", "abcd")
+    with pytest.raises(ValueError, match="exactly one"):
+        checkpoint_entry("node-00", "abcd", summary={}, failure={})
+
+
+def test_resume_is_byte_identical_to_uninterrupted(tmp_path):
+    spec = _tiny_spec(4)
+    uninterrupted = FleetRunner(spec, scale=0.5).run()
+    checkpoint_dir = str(tmp_path / "ckpt")
+    # Emulate an interruption: a prefix subset journals two nodes, then
+    # the full spec resumes from that journal.
+    FleetRunner(spec.subset(2), scale=0.5,
+                checkpoint_dir=checkpoint_dir).run()
+    resumed = FleetRunner(spec, scale=0.5, checkpoint_dir=checkpoint_dir,
+                          resume=True).run()
+    assert _canonical_json(resumed) == _canonical_json(uninterrupted)
+    assert resumed["timing"]["resumed_nodes"] == ["node-00", "node-01"]
+
+
+def test_resume_preserves_journaled_failures(tmp_path):
+    spec = _degraded_spec()
+    uninterrupted = FleetRunner(spec, scale=0.5, allow_failures=True).run()
+    checkpoint_dir = str(tmp_path / "ckpt")
+    FleetRunner(spec.subset(2), scale=0.5, checkpoint_dir=checkpoint_dir,
+                allow_failures=True).run()
+    resumed = FleetRunner(spec, scale=0.5, checkpoint_dir=checkpoint_dir,
+                          resume=True, allow_failures=True).run()
+    assert _canonical_json(resumed) == _canonical_json(uninterrupted)
+    # node-01's terminal failure came back from the journal, not a re-run.
+    assert "node-01" in resumed["timing"]["resumed_nodes"]
+    assert resumed["aggregate"]["failed_nodes"][0]["node_id"] == "node-01"
+
+
+def test_nonempty_checkpoint_dir_requires_resume(tmp_path):
+    spec = _tiny_spec(2)
+    checkpoint_dir = str(tmp_path / "ckpt")
+    FleetRunner(spec, scale=0.5, checkpoint_dir=checkpoint_dir).run()
+    with pytest.raises(CheckpointError, match="--resume"):
+        FleetRunner(spec, scale=0.5, checkpoint_dir=checkpoint_dir).run()
+
+
+def test_resume_rejects_fingerprint_mismatch(tmp_path):
+    spec = _tiny_spec(2)
+    checkpoint_dir = str(tmp_path / "ckpt")
+    FleetRunner(spec, scale=0.5, checkpoint_dir=checkpoint_dir).run()
+    with pytest.raises(CheckpointError, match="different spec"):
+        FleetRunner(spec.with_seed(99), scale=0.5,
+                    checkpoint_dir=checkpoint_dir, resume=True).run()
+    # A different scale changes duration_ns, hence the fingerprint too.
+    with pytest.raises(CheckpointError, match="different spec"):
+        FleetRunner(spec, scale=0.25, checkpoint_dir=checkpoint_dir,
+                    resume=True).run()
+
+
+def test_resume_ignores_unknown_journal_entries(tmp_path):
+    # A journal from a *larger* spec resumes cleanly into a subset run:
+    # extra entries are ignored, matching ones are reused.
+    spec = _tiny_spec(3)
+    checkpoint_dir = str(tmp_path / "ckpt")
+    FleetRunner(spec, scale=0.5, checkpoint_dir=checkpoint_dir).run()
+    subset = FleetRunner(spec.subset(2), scale=0.5,
+                         checkpoint_dir=checkpoint_dir, resume=True).run()
+    direct = FleetRunner(spec.subset(2), scale=0.5).run()
+    assert _canonical_json(subset) == _canonical_json(direct)
+
+
+def test_fingerprint_ignores_host_paths():
+    spec = _tiny_spec(1)
+    plain = FleetRunner(spec, scale=0.5).payloads()[0]
+    captured = FleetRunner(spec, scale=0.5,
+                           capture_dir="/tmp/elsewhere").payloads()[0]
+    assert payload_fingerprint(plain) == payload_fingerprint(captured)
+    reseeded = FleetRunner(spec.with_seed(7), scale=0.5).payloads()[0]
+    assert payload_fingerprint(plain) != payload_fingerprint(reseeded)
+
+
+# -- Spec round-trip -----------------------------------------------------------
+
+
+def test_spec_round_trips_retry_and_chaos(tmp_path):
+    spec = _with(_tiny_spec(2), chaos={"node-01": 1},
+                 retry={"max_attempts": 3, "backoff_s": 0.1})
+    data = spec.to_dict()
+    assert data["retry"] == {"max_attempts": 3, "backoff_s": 0.1,
+                             "backoff_multiplier": 2.0}
+    assert data["chaos"] == {"node-01": {"fail_attempts": 1,
+                                         "kind": "exception"}}
+    path = tmp_path / "spec.json"
+    spec.to_json(str(path))
+    from repro.fleet import FleetSpec
+
+    loaded = FleetSpec.from_json(str(path))
+    assert loaded.retry == RetryPolicy(max_attempts=3, backoff_s=0.1)
+    assert loaded.chaos == spec.chaos
+    # Healthy specs stay sparse: no retry/chaos keys at all.
+    assert "retry" not in _tiny_spec().to_dict()
+    assert "chaos" not in _tiny_spec().to_dict()

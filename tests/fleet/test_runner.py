@@ -296,3 +296,19 @@ def test_top_renders_worst_requests_from_fleet_json(tmp_path):
     worst = report["aggregate"]["worst_requests"]["dp"][0]
     assert worst["request"] in text
     assert worst["node_id"] in text
+
+
+def test_payloads_are_pure(tmp_path):
+    # Building payloads must not create capture/telemetry dirs; only
+    # run() touches the filesystem.
+    capture_dir = str(tmp_path / "captures")
+    telemetry_dir = str(tmp_path / "telemetry")
+    runner = FleetRunner(_tiny_spec(), scale=0.5, capture_dir=capture_dir,
+                         telemetry_dir=telemetry_dir)
+    payloads = runner.payloads()
+    assert payloads[0]["capture_path"].startswith(capture_dir)
+    assert not os.path.exists(capture_dir)
+    assert not os.path.exists(telemetry_dir)
+    runner.run()
+    assert os.path.isdir(capture_dir)
+    assert os.path.isdir(telemetry_dir)
