@@ -25,6 +25,7 @@ class Deployment:
         self.dp_kind = dp_kind
         self.dp_params = dp_params or DPServiceParams()
         self.taichi = None
+        self.tenancy = None  # set by TenancyManager on multi-tenant boards
         self.cp_affinity = set(self.board.cp_cpu_ids)
         self._dp_cpu_ids = (
             list(dp_cpu_ids) if dp_cpu_ids is not None else self.board.dp_cpu_ids

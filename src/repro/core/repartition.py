@@ -55,6 +55,8 @@ class DynamicRepartitioner:
             )
             self.taichi.attach_dp_service(service)
             self.deployment.services.append(service)
+            if self.taichi.tenancy is not None:
+                self.taichi.tenancy.adopt_service(service)
             self.dp_cpus.append(cpu_id)
             self.moves.append(("cp->dp", cpu_id))
             new_services.append(service)
@@ -79,6 +81,8 @@ class DynamicRepartitioner:
                 survivor.adopt_queue(queue_id)
             service.shutdown()
             self.taichi.scheduler.unregister_service(service)
+            if self.taichi.tenancy is not None:
+                self.taichi.tenancy.release_service(service)
             self.cp_cpus.append(cpu_id)
             self.moves.append(("dp->cp", cpu_id))
             freed.append(cpu_id)

@@ -23,6 +23,11 @@ class SoftwareWorkloadProbe:
         """Current empty-poll threshold for ``service``."""
         return self._thresholds.setdefault(service, self.config.initial_threshold)
 
+    def seed_threshold(self, service, threshold):
+        """Start ``service`` from a per-tenant threshold instead of the
+        config default; adaptation proceeds from there unchanged."""
+        self._thresholds[service] = int(threshold)
+
     def notify_idle(self, service):
         """``notify_idle_DP_CPU_cycles``: the DP service crossed its threshold."""
         self.notifications += 1

@@ -31,6 +31,7 @@ class TaiChi:
         self.vcpus = []
         self.installed = False
         self.degradation = None
+        self.tenancy = None
 
     def install(self, n_vcpus=None):
         """Deploy the framework; returns the created vCPUs."""
@@ -54,6 +55,11 @@ class TaiChi:
         self.degradation = DegradationManager(
             self, config=config, repartition=repartition).install()
         return self.degradation
+
+    def attach_tenancy(self, tenancy):
+        """Make the scheduler tenant-aware (called by TenancyManager)."""
+        self.tenancy = tenancy
+        self.scheduler.tenancy = tenancy
 
     def attach_dp_service(self, service):
         """Hook a DP service's idle notifications into the framework."""
@@ -86,6 +92,8 @@ class TaiChi:
         }
         if self.degradation is not None:
             stats["degradation"] = self.degradation.stats()
+        if self.tenancy is not None:
+            stats["tenants"] = self.tenancy.stats()
         return stats
 
     def __repr__(self):

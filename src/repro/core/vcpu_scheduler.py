@@ -46,6 +46,7 @@ class VCPUScheduler:
         self._cp_pcpus = list(board.cp_cpu_ids)
         self._cp_pcpu_rr = 0              # round-robin index for lock-safe fallback
         self.sw_probe = None              # wired by TaiChi
+        self.tenancy = None               # wired by TenancyManager (multi-tenant)
 
         # Graceful degradation (driven by repro.core.degradation).
         # probe_degraded: operate as if hw_probe_enabled were off — slices
@@ -215,17 +216,54 @@ class VCPUScheduler:
         """Demote to software-probe-only operation (or recover from it)."""
         self.probe_degraded = bool(degraded)
 
-    def _next_runnable(self):
-        """Round-robin pick of the next vCPU with pending work."""
-        while self._runnable:
-            vcpu = self._runnable.popleft()
+    def _next_runnable(self, cpu_id=None):
+        """Pick the next vCPU with pending work for ``cpu_id``.
+
+        Tenancy-blind (the default, and isolation-off tenancy): plain
+        round-robin.  With tenant isolation installed, the pick is
+        weighted-fair instead — the first runnable vCPU of each tenant
+        allowed on ``cpu_id`` is a candidate, and the tenant with the
+        lowest weight-normalized granted time wins.
+        """
+        tenancy = self.tenancy
+        if tenancy is None or not tenancy.isolation:
+            while self._runnable:
+                vcpu = self._runnable.popleft()
+                self._runnable_set.discard(vcpu)
+                if vcpu.is_backed or vcpu in self._reserved:
+                    continue
+                if vcpu.runqueue.is_empty and vcpu.current is None:
+                    continue
+                return vcpu
+            return None
+        heads = {}                  # TenantRuntime (or None) -> FIFO head
+        stale = []
+        limit = len(tenancy.runtimes)
+        for vcpu in self._runnable:
+            if vcpu.is_backed or vcpu in self._reserved or (
+                    vcpu.runqueue.is_empty and vcpu.current is None):
+                stale.append(vcpu)
+                continue
+            if cpu_id is not None and not tenancy.may_back(cpu_id, vcpu):
+                continue
+            runtime = tenancy.tenant_of_vcpu(vcpu)
+            if runtime is None:
+                # Untagged vCPUs outrank every ledger: stop looking.
+                heads = {None: vcpu}
+                break
+            if runtime not in heads:
+                heads[runtime] = vcpu
+                if len(heads) == limit:
+                    break           # one head per tenant: the scan is done
+        for vcpu in stale:
+            self._runnable.remove(vcpu)
             self._runnable_set.discard(vcpu)
-            if vcpu.is_backed or vcpu in self._reserved:
-                continue
-            if vcpu.runqueue.is_empty and vcpu.current is None:
-                continue
-            return vcpu
-        return None
+        if not heads:
+            return None
+        chosen = tenancy.choose(heads, cpu_id)
+        self._runnable.remove(chosen)
+        self._runnable_set.discard(chosen)
+        return chosen
 
     def _try_dispatch(self, cpu_id, vcpu=None):
         if cpu_id in self.active:
@@ -235,7 +273,10 @@ class VCPUScheduler:
             return False  # hotplug: never raise a dispatch on a dead CPU
         if vcpu is not None and (vcpu.is_backed or vcpu in self._reserved):
             return False
-        candidate = vcpu if vcpu is not None else self._next_runnable()
+        if vcpu is not None and self.tenancy is not None and \
+                not self.tenancy.may_back(cpu_id, vcpu):
+            return False
+        candidate = vcpu if vcpu is not None else self._next_runnable(cpu_id)
         if candidate is None:
             return False
         self._reserved[candidate] = self.env.now
@@ -294,6 +335,9 @@ class VCPUScheduler:
 
         reason = grant.resolve_end_reason()
         vcpu.revoke(reason)
+        if self.tenancy is not None:
+            self.tenancy.note_grant(
+                vcpu, self.env.now - grant.granted_at_ns, pcpu.cpu_id)
         if hw_probe is not None:
             hw_probe.set_state(pcpu.cpu_id, CpuIoState.P_STATE)
         self.active.pop(pcpu.cpu_id, None)
@@ -348,7 +392,7 @@ class VCPUScheduler:
             if tracer.enabled:
                 tracer.record(self.env.now, pcpu.cpu_id, "lock_safe_migrate",
                               vcpu=vcpu.cpu_id, reason=reason.value)
-            target = self._find_idle_dp_cpu(exclude=pcpu.cpu_id)
+            target = self._find_idle_dp_cpu(exclude=pcpu.cpu_id, vcpu=vcpu)
             if target is not None and self._try_dispatch(target, vcpu=vcpu):
                 return
             for _ in range(len(self._cp_pcpus)):
@@ -362,10 +406,14 @@ class VCPUScheduler:
 
         self._mark_runnable(vcpu)
 
-    def _find_idle_dp_cpu(self, exclude=None):
+    def _find_idle_dp_cpu(self, exclude=None, vcpu=None):
         for cpu_id in self._services_by_cpu:
-            if cpu_id != exclude and self._cpu_is_donatable(cpu_id):
-                return cpu_id
+            if cpu_id == exclude or not self._cpu_is_donatable(cpu_id):
+                continue
+            if vcpu is not None and self.tenancy is not None and \
+                    not self.tenancy.may_back(cpu_id, vcpu):
+                continue
+            return cpu_id
         return None
 
     def _next_cp_pcpu(self):

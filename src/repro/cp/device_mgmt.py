@@ -52,6 +52,8 @@ class VMCreateRequest:
         self.t_devices_ready = None
         self.t_vm_started = None
         self.done = env.event()
+        # Owning tenant id on multi-tenant boards (None elsewhere).
+        self.tenant = None
         # Causal tracing: the vm-startup root span opens at issue time.
         self.span_id = None
         if env.spans.enabled:

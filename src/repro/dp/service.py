@@ -33,6 +33,7 @@ class DPService:
         self.queue_ids = list(queue_ids)
         self.params = params or DPServiceParams()
         self.kind = kind
+        self.tenant_id = None  # set by TenancyManager on multi-tenant boards
 
         self.rx_stores = [board.accelerator.queue_store(q) for q in self.queue_ids]
         self._device_rng = board.rng.stream(f"device-{name}")
@@ -155,13 +156,16 @@ class DPService:
 
     def metrics_snapshot(self):
         """Per-service poll-loop occupancy stats (lazy registry source)."""
-        return {
+        snapshot = {
             "cpu_id": self.cpu_id,
             "packets_processed": self.packets_processed,
             "processing_ns": self.processing_ns,
             "idle_notifications": self.idle_notifications,
             "empty_poll_streaks": self.empty_poll_streaks,
         }
+        if self.tenant_id is not None:
+            snapshot["tenant_id"] = self.tenant_id
+        return snapshot
 
     # -- The poll loop ---------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.experiments import (  # noqa: F401  (import-for-side-effect)
     ext_features,
     ext_fleet_durability,
     ext_fleet_scale,
+    ext_multitenant,
     ext_production_soak,
     ext_window_sweep,
     fig2_motivation,

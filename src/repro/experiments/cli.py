@@ -86,6 +86,12 @@ def main(argv=None):
                              help="trace causal request spans and report "
                                   "per-channel tail exemplars with "
                                   "critical-path attribution")
+    soak_parser.add_argument("--check-invariants", action="store_true",
+                             help="verify causal invariants inline (on "
+                                  "multi-tenant scenarios this includes the "
+                                  "isolation invariants and the summary's "
+                                  "grant-ledger books); exit 1 on any "
+                                  "violation")
 
     analyze_parser = sub.add_parser(
         "analyze",
@@ -263,14 +269,29 @@ def main(argv=None):
         from repro.sim.units import MILLISECONDS
 
         scenario = load_scenario(args.scenario)
-        summary = run_soak(
-            scenario, seed=args.seed,
-            duration_ns=int(args.duration_ms * args.scale * MILLISECONDS),
-            drain_ns=int(args.drain_ms * MILLISECONDS),
-            dp_slo_us=args.dp_slo_us, fault_scale=args.scale,
-            spans=args.spans)
+
+        def _soak():
+            return run_soak(
+                scenario, seed=args.seed,
+                duration_ns=int(args.duration_ms * args.scale
+                                * MILLISECONDS),
+                drain_ns=int(args.drain_ms * MILLISECONDS),
+                dp_slo_us=args.dp_slo_us, fault_scale=args.scale,
+                spans=args.spans)
+
+        violations = []
+        if args.check_invariants:
+            from repro.obs import observe
+
+            with observe(check_invariants=True) as session:
+                summary = _soak()
+            violations = session.violations()
+        else:
+            summary = _soak()
         print(f"scenario: arm={scenario.arm} traffic={scenario.traffic} "
-              f"faults={scenario.faults or '-'}")
+              f"faults={scenario.faults or '-'}"
+              + (f" tenants={len(scenario.tenants)}"
+                 if scenario.tenants else ""))
         latency = summary["dp_latency_us"]
         print(f"dp probes: {summary['dp_sample_count']} "
               f"(p50 {latency.get('p50', 0.0):.1f} us, "
@@ -282,6 +303,14 @@ def main(argv=None):
               f"{summary['vms_requested']} started; "
               f"SLO attainment {summary['startup_slo_attainment_pct']:.2f}% "
               f"at {summary['startup_slo_ms']:.0f} ms")
+        for tid, block in sorted((summary.get("tenants") or {}).items()):
+            tenant_dp = block["dp_latency_us"]
+            print(f"tenant {tid} (weight {block['weight']:g}): "
+                  f"dp p99 {tenant_dp.get('p99', 0.0):.1f} us, "
+                  f"dp SLO {block['dp_slo_attainment_pct']:.2f}%, "
+                  f"startup SLO "
+                  f"{block['startup_slo_attainment_pct']:.2f}%, "
+                  f"granted {block['granted_ns'] / 1e6:.1f} ms")
         faults = summary["faults"]
         if faults["injected"]:
             print(f"faults: {faults['injected']} injected, "
@@ -303,6 +332,23 @@ def main(argv=None):
                 json.dump(summary, handle, indent=2)
                 handle.write("\n")
             print(f"wrote soak summary to {args.json}")
+        if args.check_invariants:
+            problems = []
+            if summary.get("tenants"):
+                from repro.tenancy import verify_tenant_summary
+
+                problems = verify_tenant_summary(summary)
+            if violations or problems:
+                print(f"INVARIANT VIOLATIONS: "
+                      f"{len(violations) + len(problems)}")
+                for label, violation in violations[:20]:
+                    print(f"  stream {label!r}:")
+                    for row in str(violation).splitlines():
+                        print(f"  {row}")
+                for problem in problems:
+                    print(f"  summary: {problem}")
+                return 1
+            print("invariants: all checks passed (0 violations)")
         return 0
 
     if args.command == "fleet":

@@ -181,6 +181,27 @@ EXPECTATIONS = {
                     lambda d: d["resume_identical"]
                     and d["resumed_nodes"] > 0),
     ],
+    "ext_multitenant": [
+        Expectation("isolation-on holds the victim's declared DP p99 SLO "
+                    "under the neighbor storm",
+                    lambda d: d["victim_dp_p99_on_us"] <= 300.0),
+        Expectation("isolation-off demonstrably breaches the same bound",
+                    lambda d: d["victim_dp_p99_off_us"] > 300.0),
+        Expectation("cross-tenant interference >1.5x on victim DP p99",
+                    lambda d: d["interference_ratio"] > 1.5),
+        Expectation("victim DP SLO attainment >=98% with isolation on",
+                    lambda d: d["victim_dp_slo_on_pct"] >= 98.0),
+        Expectation("isolation-off costs the victim >=2pp DP attainment",
+                    lambda d: d["victim_dp_slo_off_pct"]
+                    <= d["victim_dp_slo_on_pct"] - 2.0),
+        Expectation("victim startup SLO attainment >=90% with isolation on",
+                    lambda d: d["victim_startup_on_pct"] >= 90.0),
+        Expectation("isolation invariants verify clean under the storm",
+                    lambda d: d["isolation_invariant_violations"] == 0),
+        Expectation("harvesting starts neighbor VMs the static partition "
+                    "cannot",
+                    lambda d: d["noisy_vms_on"] > d["noisy_vms_static"]),
+    ],
     "ext_production_soak": [
         Expectation("Tai Chi adds no DP tail latency (p999 within 10% of "
                     "the static baseline)",
@@ -359,6 +380,45 @@ def _resilience_md_lines(outcome):
     return lines
 
 
+def _multitenant_md_lines(outcome):
+    """Render the multi-tenant outcome as an EXPERIMENTS.md section."""
+    derived = outcome["result"].derived
+    held = (derived.get("victim_dp_p99_on_us", 1e9) <= 300.0
+            and derived.get("isolation_invariant_violations", 1) == 0)
+    breached = derived.get("victim_dp_p99_off_us", 0) > 300.0
+    verdict = ("**isolation holds the victim's SLO that sharing breaches**"
+               if held and breached else "**isolation contrast not shown**")
+    lines = [
+        "## Multi-tenant isolation",
+        "",
+        "The `ext_multitenant` experiment pools one board among a weight-4",
+        "victim tenant (declared 300 us DP SLO) and three weight-1 noisy",
+        "neighbors (spiky incast, heavy CP hum, dense VM storms) while the",
+        "hardware probe is dark — the regime where a squatting neighbor",
+        "vCPU strands rx traffic for a whole adaptive slice.",
+        "",
+        f"- Victim DP rx-wait p99: "
+        f"{derived.get('victim_dp_p99_on_us', 0):.1f} us isolated vs "
+        f"{derived.get('victim_dp_p99_off_us', 0):.1f} us shared "
+        f"({derived.get('interference_ratio', 0):.2f}x interference)",
+        f"- Victim DP SLO attainment: "
+        f"{derived.get('victim_dp_slo_on_pct', 0):.1f}% isolated vs "
+        f"{derived.get('victim_dp_slo_off_pct', 0):.1f}% shared",
+        f"- Victim startup SLO attainment: "
+        f"{derived.get('victim_startup_on_pct', 0):.1f}% isolated "
+        f"({derived.get('victim_startup_static_pct', 0):.1f}% on the "
+        "static partition)",
+        f"- Neighbor VMs started: {derived.get('noisy_vms_on', 0)} under "
+        f"Tai Chi vs {derived.get('noisy_vms_static', 0)} on the static "
+        "partition",
+        f"- Isolation invariant violations: "
+        f"{derived.get('isolation_invariant_violations', 0)}",
+        f"- Verdict: {verdict}",
+        "",
+    ]
+    return lines
+
+
 def _checker_count():
     from repro.obs.invariants import DEFAULT_CHECKERS
 
@@ -408,6 +468,10 @@ def write_experiments_md(path, outcomes, scale, seed, profile=None):
     for outcome in outcomes:
         if outcome["id"] == "ext_fault_resilience":
             lines.extend(_resilience_md_lines(outcome))
+            break
+    for outcome in outcomes:
+        if outcome["id"] == "ext_multitenant":
+            lines.extend(_multitenant_md_lines(outcome))
             break
     if profile is not None:
         lines.extend(_profile_md_lines(profile))

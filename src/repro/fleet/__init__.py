@@ -24,7 +24,12 @@ or programmatically::
 See ``docs/fleet.md`` for the scenario format and determinism contract.
 """
 
-from repro.fleet.aggregate import aggregate_fleet, aggregate_nodes, worst_nodes
+from repro.fleet.aggregate import (
+    aggregate_fleet,
+    aggregate_nodes,
+    aggregate_tenants,
+    worst_nodes,
+)
 from repro.fleet.durability import (
     CheckpointError,
     FleetCheckpoint,
@@ -79,6 +84,7 @@ __all__ = [
     "WorkloadMix",
     "aggregate_fleet",
     "aggregate_nodes",
+    "aggregate_tenants",
     "canonical_report",
     "fleet_markdown",
     "format_fleet_text",

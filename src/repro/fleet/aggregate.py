@@ -89,6 +89,52 @@ def aggregate_nodes(nodes):
     return block
 
 
+def aggregate_tenants(nodes):
+    """Merge per-tenant blocks across nodes: one block per tenant id.
+
+    Sketches merge in node order (same contract as the fleet merge);
+    attainment pools exact within/total counts.  Nodes without tenant
+    blocks contribute nothing — a mixed fleet aggregates the tenants of
+    the multi-tenant nodes only.
+    """
+    by_tenant = {}
+    for node in nodes:
+        for tid, block in (node.get("tenants") or {}).items():
+            by_tenant.setdefault(tid, []).append(block)
+    out = {}
+    for tid in sorted(by_tenant):
+        blocks = by_tenant[tid]
+        dp_merged = _sketch_block(blocks, "dp_sketch", _DP_QS)
+        startup_merged = _sketch_block(blocks, "startup_sketch",
+                                       _STARTUP_QS)
+        dp_within = sum(block["dp_within_slo"] for block in blocks)
+        dp_total = sum(block["dp_slo_total"] for block in blocks)
+        startup_within = sum(block["startup_within_slo"]
+                             for block in blocks)
+        startup_total = sum(block["startup_slo_total"] for block in blocks)
+        merged = {
+            "nodes": len(blocks),
+            "weight": blocks[0]["weight"],
+            "dp_latency_us": (dp_merged[0] if dp_merged is not None
+                              else None),
+            "dp_slo_attainment_pct": attainment_pct(dp_within, dp_total),
+            "startup_ms": (startup_merged[0]
+                           if startup_merged is not None else None),
+            "startup_slo_attainment_pct": attainment_pct(startup_within,
+                                                         startup_total),
+            "vms_started": sum(block["vms_started"] for block in blocks),
+            "vms_requested": sum(block["vms_requested"]
+                                 for block in blocks),
+            "granted_ns": sum(block["granted_ns"] for block in blocks),
+        }
+        if dp_merged is not None:
+            merged["dp_sketch"] = dp_merged[1]
+        if startup_merged is not None:
+            merged["startup_sketch"] = startup_merged[1]
+        out[tid] = merged
+    return out
+
+
 def worst_nodes(nodes):
     """The pageable offenders: worst DP p99, worst startup attainment."""
     with_dp = [node for node in nodes
@@ -173,6 +219,11 @@ def aggregate_fleet(nodes, failures=None, expected_nodes=None):
         # Only present on spans-on fleets, keeping spans-off reports
         # byte-identical to pre-span ones.
         out["worst_requests"] = requests
+    tenants = aggregate_tenants(nodes)
+    if tenants:
+        # Only present when some node ran multi-tenant, keeping
+        # single-tenant fleet reports byte-identical to pre-tenancy ones.
+        out["tenants"] = tenants
     failures = list(failures or ())
     if failures:
         expected = (int(expected_nodes) if expected_nodes is not None

@@ -216,6 +216,28 @@ def _node_row_from_summary(node):
     }
 
 
+def _tenant_rows(nodes):
+    """Per-tenant health rows from node summaries carrying tenant blocks.
+
+    Single-tenant nodes have no ``tenants`` block and contribute no rows,
+    so the ``top`` output for pre-tenancy reports is unchanged.
+    """
+    rows = []
+    for node in nodes:
+        for tid in sorted(node.get("tenants") or {}):
+            block = node["tenants"][tid]
+            dp = block.get("dp_latency_us", {})
+            rows.append({
+                "node": node["node_id"],
+                "tenant": tid,
+                "weight": block.get("weight"),
+                "dp_p99_us": dp.get("p99"),
+                "dp_slo_pct": block.get("dp_slo_attainment_pct"),
+                "startup_slo_pct": block.get("startup_slo_attainment_pct"),
+            })
+    return rows
+
+
 def fleet_health_rows(source):
     """Health rows from a telemetry dir or a fleet JSON report path."""
     if os.path.isdir(source):
@@ -247,18 +269,26 @@ def render_top(source):
     worst_requests = {}
     failed_nodes = []
     coverage = None
+    tenant_rows = []
     if os.path.isdir(source):
         rows = fleet_health_rows(source)
     else:
         with open(source) as handle:
             report = json.load(handle)
         nodes = report.get("nodes")
+        if not nodes and report.get("tenants") and report.get("node_id"):
+            # A bare multi-tenant soak summary: render it as a one-node
+            # fleet so per-tenant rows are inspectable without a fleet
+            # wrapper.  (Tenant-less summaries keep the old error.)
+            nodes = [report]
+            report = {}
         aggregate = report.get("aggregate") or {}
         failed_nodes = aggregate.get("failed_nodes") or []
         coverage = aggregate.get("coverage")
         if not nodes and not failed_nodes:
             raise ValueError(f"{source!r} is not a fleet report (no nodes)")
         rows = [_node_row_from_summary(node) for node in nodes or []]
+        tenant_rows = _tenant_rows(nodes or [])
         worst_requests = aggregate.get("worst_requests") or {}
     worst = max(
         (row for row in rows if row["dp_p99_us"] is not None),
@@ -268,6 +298,9 @@ def render_top(source):
     lines = [f"== fleet top: {len(rows)} nodes =="]
     if rows:
         lines.append(format_table(rows))
+    if tenant_rows:
+        lines.append(f"== tenants: {len(tenant_rows)} rows ==")
+        lines.append(format_table(tenant_rows))
     if worst is not None:
         lines.append(f"worst dp p99: {worst['node']} "
                      f"({worst['dp_p99_us']:.1f}us)")

@@ -59,13 +59,18 @@ class VirtualMachine:
 class HostNode:
     """A host whose VM lifecycle runs through the SmartNIC control plane."""
 
-    def __init__(self, deployment, manager=None):
+    def __init__(self, deployment, manager=None, services=None,
+                 tenant_id=None):
         self.deployment = deployment
         self.board = deployment.board
         self.env = deployment.env
         self.manager = manager or DeviceManager(
             self.board, deployment.cp_affinity
         )
+        # Multi-tenant boards scope a host to its tenant's DP services;
+        # default is the whole board (single-tenant behavior).
+        self.services = list(services) if services is not None else None
+        self.tenant_id = tenant_id
         self.vms = []
         self._rr = 0
 
@@ -79,6 +84,7 @@ class HostNode:
         vm = VirtualMachine(spec=spec)
         kinds = ["net"] * spec.n_vnics + ["blk"] * spec.n_vblks
         request = VMCreateRequest(self.env, spec.n_devices)
+        request.tenant = self.tenant_id
         vm.request = request
         self.vms.append(vm)
 
@@ -99,7 +105,8 @@ class HostNode:
         self.vms.remove(vm)
 
     def _pick_service(self):
-        services = self.deployment.services
+        services = (self.services if self.services
+                    else self.deployment.services)
         self._rr = (self._rr + 1) % len(services)
         return services[self._rr]
 

@@ -36,10 +36,11 @@ class IORequest:
         "t_done",
         "done",
         "span_id",
+        "tenant",
     )
 
     def __init__(self, kind, size_bytes, queue_id, service_ns, flow=None,
-                 payload=None, done=None):
+                 payload=None, done=None, tenant=None):
         self.packet_id = next(_packet_ids)
         self.kind = kind
         self.size_bytes = int(size_bytes)
@@ -56,6 +57,8 @@ class IORequest:
         # Causal-tracing correlation id (set while a span is open on this
         # request; see repro.obs.spans).
         self.span_id = None
+        # Owning tenant id on multi-tenant boards (None elsewhere).
+        self.tenant = tenant
 
     @property
     def total_latency_ns(self):

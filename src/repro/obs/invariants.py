@@ -517,6 +517,89 @@ class SpanPairingChecker(InvariantChecker):
         return ()
 
 
+class TenantFairShareChecker(InvariantChecker):
+    """A tenant is never chosen over a cheaper backlogged tenant.
+
+    The weighted-fair vCPU pick (``tenant.pick`` events) must select the
+    eligible tenant with the lowest weight-normalized granted time.  Each
+    event carries the chosen tenant's normalized usage plus every
+    backlogged (eligible-but-not-chosen) tenant's — picking a tenant whose
+    usage exceeds a backlogged one's by more than ``slack_ns`` means a
+    tenant ran ahead of its weighted share while another waited.  Silent
+    on single-tenant streams.
+    """
+
+    name = "tenant_fair_share"
+
+    def __init__(self, slack_ns=1_000):
+        self.slack_ns = int(slack_ns)
+
+    def observe(self, event):
+        if event.kind != "tenant.pick":
+            return ()
+        chosen = event.detail.get("tenant")
+        usage_ns = event.detail.get("usage_ns", 0)
+        out = []
+        for other, other_usage in (event.detail.get("backlogged")
+                                   or {}).items():
+            if usage_ns > other_usage + self.slack_ns:
+                out.append(Violation(
+                    self.name,
+                    f"tenant {chosen!r} (normalized usage {usage_ns} ns) "
+                    f"was backed while backlogged tenant {other!r} had "
+                    f"only {other_usage} ns — exceeds its weighted share",
+                    event,
+                ))
+        return out
+
+
+class TenantGrantConservation(InvariantChecker):
+    """Grant ledgers conserve: every donated slice lands in exactly one
+    tenant's ledger and the board total.
+
+    ``tenant.grant`` events carry the slice, the tenant's running total
+    and the board's running total; re-accumulating them must reproduce
+    both.  A mismatch means accounting lost or double-counted a slice.
+    Silent on single-tenant streams.
+    """
+
+    name = "tenant_grant_conservation"
+
+    def __init__(self):
+        self._per_tenant = {}
+        self._total = 0
+
+    def observe(self, event):
+        if event.kind != "tenant.grant":
+            return ()
+        tenant = event.detail.get("tenant")
+        slice_ns = event.detail.get("ns", 0)
+        expected_tenant = self._per_tenant.get(tenant, 0) + slice_ns
+        expected_total = self._total + slice_ns
+        self._per_tenant[tenant] = expected_tenant
+        self._total = expected_total
+        out = []
+        if event.detail.get("tenant_total_ns") != expected_tenant:
+            out.append(Violation(
+                self.name,
+                f"tenant {tenant!r} ledger reads "
+                f"{event.detail.get('tenant_total_ns')} ns but its grants "
+                f"sum to {expected_tenant} ns",
+                event,
+            ))
+        if event.detail.get("total_ns") < expected_total:
+            # The board total also counts slices of untagged vCPUs, so it
+            # may run ahead of the tenant ledgers — never behind them.
+            out.append(Violation(
+                self.name,
+                f"board grant total {event.detail.get('total_ns')} ns is "
+                f"behind the sum of tenant grants ({expected_total} ns) — "
+                f"a slice was double-attributed",
+                event,
+            ))
+        return out
+
+
 DEFAULT_CHECKERS = (
     MonotonicTimestamps,
     IpiDeliveryBound,
@@ -527,6 +610,8 @@ DEFAULT_CHECKERS = (
     FaultRecoveryChecker,
     AlertPairingChecker,
     SpanPairingChecker,
+    TenantFairShareChecker,
+    TenantGrantConservation,
 )
 
 

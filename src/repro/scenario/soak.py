@@ -64,6 +64,14 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
     event stream, so every other summary key is byte-identical to a
     spans-off run.
     """
+    if scenario.tenants:
+        from repro.tenancy.soak import run_tenant_soak
+
+        return run_tenant_soak(
+            scenario, seed=seed, duration_ns=duration_ns, drain_ns=drain_ns,
+            dp_slo_us=dp_slo_us, fault_scale=fault_scale, label=label,
+            telemetry=telemetry, spans=spans, exemplar_k=exemplar_k)
+
     from repro.scenario.spec import TRAFFIC_PROFILES
     from repro.workloads.background import (
         start_cp_background, start_dp_background,

@@ -103,6 +103,8 @@ class Scenario:
     check_invariants: bool = False
     trace: bool = False
     alerts: list = None
+    tenants: list = None
+    tenant_isolation: bool = True
 
     def __post_init__(self):
         if not isinstance(self.arm, str) or not is_arm(self.arm):
@@ -150,6 +152,12 @@ class Scenario:
                     f"alerts must be a list of rule dicts, got "
                     f"{type(self.alerts).__name__}")
             self.alerts = normalize_alert_rules(self.alerts)
+        if self.tenants is not None:
+            # Lazy import: repro.tenancy.spec imports this module.
+            from repro.tenancy.spec import normalize_tenants
+
+            self.tenants = normalize_tenants(self.tenants)
+        self.tenant_isolation = bool(self.tenant_isolation)
 
     # -- Faults -------------------------------------------------------------------
 
@@ -211,6 +219,10 @@ class Scenario:
             data["trace"] = True
         if self.alerts is not None:
             data["alerts"] = [rule.to_dict() for rule in self.alerts]
+        if self.tenants is not None:
+            data["tenants"] = [tenant.to_dict() for tenant in self.tenants]
+            if not self.tenant_isolation:
+                data["tenant_isolation"] = False
         return data
 
     @classmethod

@@ -36,6 +36,8 @@ class VirtualCPU(CPU):
         self.backed_ns = 0
         self.halt_signals = 0
         self.revocations = 0
+        # Owning tenant id on multi-tenant boards (None elsewhere).
+        self.tenant_id = None
         super().__init__(kernel, cpu_id, online=online)
 
     # -- Grant plumbing (called from the vCPU scheduler on a pCPU) -----------------

@@ -20,16 +20,22 @@ from repro.workloads.traffic import service_queue_ids
 
 def start_dp_background(deployment, utilization=0.30, duration_ns=None,
                         batch_service_ns=30 * MICROSECONDS, burstiness=0.5,
-                        rng=None):
+                        rng=None, queues=None, label="dp-bg",
+                        tenant=None):
     """Drive every DP service at ``utilization`` effective CPU usage.
 
     Traffic alternates bursts and idle gaps (``burstiness`` controls the
     duty cycle peak-to-mean ratio) so idle windows exist for Tai Chi to
     harvest, as in production.  Returns the generator process.
+
+    Multi-tenant boards pass ``queues`` (the tenant's own rx queues),
+    a distinguishing ``label`` and the owning ``tenant`` id; the defaults
+    reproduce the single-tenant behavior exactly.
     """
     env = deployment.env
     rng = rng or deployment.rng.stream("dp-background")
-    queues = service_queue_ids(deployment)
+    if queues is None:
+        queues = service_queue_ids(deployment)
     accelerator = deployment.board.accelerator
     # Per-queue packet rate to hit the utilization target.
     rate_pps = utilization / (batch_service_ns / 1e9)
@@ -48,25 +54,34 @@ def start_dp_background(deployment, utilization=0.30, duration_ns=None,
                 gap = max(int(rng.exponential(1e9 / burst_rate)), 1)
                 yield env.timeout(gap)
                 request = IORequest(PacketKind.NET_TX, 1500, queue_id,
-                                    service_ns=batch_service_ns)
+                                    service_ns=batch_service_ns,
+                                    tenant=tenant)
                 accelerator.submit(request)
             if idle_ns:
                 yield env.timeout(idle_ns)
 
     return [
-        env.process(_source(queue_id), name=f"dp-bg-{index}")
+        env.process(_source(queue_id), name=f"{label}-{index}")
         for index, queue_id in enumerate(queues)
     ]
 
 
 def start_cp_background(deployment, n_monitors=4, rolling_tasks=4,
-                        task_params=None, rng=None):
-    """Start monitoring tasks plus a rolling synthetic CP job stream."""
+                        task_params=None, rng=None, affinity=None,
+                        name_prefix=None):
+    """Start monitoring tasks plus a rolling synthetic CP job stream.
+
+    Multi-tenant boards pass the tenant's ``affinity`` (its own vCPUs
+    plus the shared CP pCPUs) and a per-tenant ``name_prefix``; defaults
+    reproduce the single-tenant behavior exactly.
+    """
     env = deployment.env
     rng = rng or deployment.rng.stream("cp-background")
-    affinity = deployment.cp_affinity
+    if affinity is None:
+        affinity = deployment.cp_affinity
+    prefix = "" if name_prefix is None else f"{name_prefix}-"
     monitors = [
-        MonitorTask(deployment.board, f"monitor-{index}", affinity)
+        MonitorTask(deployment.board, f"{prefix}monitor-{index}", affinity)
         for index in range(n_monitors)
     ]
     params = task_params or CPTaskParams(total_ns=20 * MILLISECONDS)
@@ -80,12 +95,13 @@ def start_cp_background(deployment, n_monitors=4, rolling_tasks=4,
                     event.succeed()
 
             body = synthetic_cp_body(rng, params=params, on_done=_finish)
-            deployment.kernel.spawn(f"cp-bg-{slot}", body, affinity=affinity)
+            deployment.kernel.spawn(f"{prefix}cp-bg-{slot}", body,
+                                    affinity=affinity)
             yield done_event
             yield env.timeout(int(rng.exponential(5 * MILLISECONDS)))
 
     rollers = [
-        env.process(_roller(slot), name=f"cp-bg-roller-{slot}")
+        env.process(_roller(slot), name=f"{prefix}cp-bg-roller-{slot}")
         for slot in range(rolling_tasks)
     ]
     return monitors, rollers

@@ -15,7 +15,7 @@ EXTENSION_IDS = {
     "ablation_threshold", "ablation_slice", "ext_preemptible_kernel",
     "ext_audit", "ext_probe_fusion", "ext_cache_isolation",
     "ext_production_soak", "ext_window_sweep", "ext_fault_resilience",
-    "ext_fleet_scale", "ext_fleet_durability",
+    "ext_fleet_scale", "ext_fleet_durability", "ext_multitenant",
 }
 
 

@@ -275,6 +275,7 @@ def test_default_checkers_cover_catalog():
         "monotonic_timestamps", "ipi_delivery_bound", "slice_pair_nesting",
         "single_cpu_per_thread", "idle_yield_threshold", "runqueue_depth",
         "fault_recovery", "alert_pairing", "span_pairing",
+        "tenant_fair_share", "tenant_grant_conservation",
     }
 
 

@@ -18,12 +18,18 @@ _ALLOWED = ("scenario", "baselines")
 
 _DIRECT_CALL = re.compile(r"\b[A-Za-z_]*Deployment\(")
 
+#: Directories allowed to construct a TenancyManager directly — everyone
+#: else reaches multi-tenant behavior through ``Scenario.tenants``.
+_TENANCY_ALLOWED = ("tenancy",)
 
-def test_no_direct_deployment_construction_outside_the_registry():
+_TENANCY_CALL = re.compile(r"\bTenancyManager\(")
+
+
+def _scan(pattern, allowed):
     offenders = []
     for root, _dirs, files in os.walk(_SRC):
         rel = os.path.relpath(root, _SRC)
-        if rel.split(os.sep)[0] in _ALLOWED:
+        if rel.split(os.sep)[0] in allowed:
             continue
         for name in files:
             if not name.endswith(".py"):
@@ -31,11 +37,24 @@ def test_no_direct_deployment_construction_outside_the_registry():
             path = os.path.join(root, name)
             with open(path) as handle:
                 for lineno, line in enumerate(handle, 1):
-                    if _DIRECT_CALL.search(line):
+                    if pattern.search(line):
                         offenders.append(
                             f"{os.path.relpath(path, _SRC)}:{lineno}: "
                             f"{line.strip()}")
+    return offenders
+
+
+def test_no_direct_deployment_construction_outside_the_registry():
+    offenders = _scan(_DIRECT_CALL, _ALLOWED)
     assert not offenders, (
         "direct deployment construction outside repro/scenario and "
         "repro/baselines — use repro.scenario.build():\n"
+        + "\n".join(offenders))
+
+
+def test_no_direct_tenancy_manager_construction_outside_tenancy():
+    offenders = _scan(_TENANCY_CALL, _TENANCY_ALLOWED)
+    assert not offenders, (
+        "direct TenancyManager construction outside repro/tenancy — "
+        "declare Scenario.tenants and let the soak driver install it:\n"
         + "\n".join(offenders))

@@ -1,0 +1,177 @@
+"""TenancyManager: partition, donation policy, ledgers, repartition."""
+
+import pytest
+
+from repro.scenario import build
+from repro.tenancy import TenancyManager, TenantRuntime, TenantSpec, \
+    weighted_partition
+
+
+def _runtimes(*weights):
+    return [TenantRuntime(TenantSpec(tenant_id=f"t{i}", weight=w), i)
+            for i, w in enumerate(weights)]
+
+
+# -- weighted_partition --------------------------------------------------------
+
+
+def test_partition_splits_by_weight_with_largest_remainder():
+    assert weighted_partition(8, _runtimes(4.0, 1.0, 1.0, 1.0),
+                              "vCPUs") == [5, 1, 1, 1]
+    assert weighted_partition(8, _runtimes(1.0, 1.0), "vCPUs") == [4, 4]
+    assert weighted_partition(7, _runtimes(1.0, 1.0), "vCPUs") == [4, 3]
+
+
+def test_partition_guarantees_one_each():
+    # A 100:1 split of 2 items still leaves the small tenant one item.
+    assert weighted_partition(2, _runtimes(100.0, 1.0), "services") == [1, 1]
+
+
+def test_partition_is_deterministic_on_ties():
+    # Equal weights, odd items: earlier declaration wins the extra.
+    assert weighted_partition(5, _runtimes(1.0, 1.0), "vCPUs") == [3, 2]
+
+
+def test_partition_rejects_more_tenants_than_items_naming_resource():
+    with pytest.raises(ValueError, match="DP services"):
+        weighted_partition(2, _runtimes(1.0, 1.0, 1.0), "DP services")
+
+
+# -- install on a Tai Chi deployment ------------------------------------------
+
+
+TENANTS = [
+    {"tenant_id": "gold", "weight": 3.0, "probe_threshold": 64},
+    {"tenant_id": "bronze", "weight": 1.0},
+]
+
+
+def _install(arm="taichi", isolation=True, tenants=TENANTS):
+    deployment = build(arm, seed=0)
+    manager = TenancyManager(deployment, tenants,
+                             isolation=isolation).install()
+    return deployment, manager
+
+
+def test_install_partitions_services_and_vcpus_and_tags_them():
+    deployment, manager = _install()
+    gold = manager.by_id["gold"]
+    bronze = manager.by_id["bronze"]
+    assert len(gold.services) == 6 and len(bronze.services) == 2
+    assert len(gold.vcpus) == 6 and len(bronze.vcpus) == 2
+    assert all(s.tenant_id == "gold" for s in gold.services)
+    assert all(v.tenant_id == "bronze" for v in bronze.vcpus)
+    # CP affinity: own vCPUs plus the shared dedicated CP pCPUs.
+    cp_pcpus = set(deployment.board.cp_cpu_ids)
+    assert gold.cp_affinity == {v.cpu_id for v in gold.vcpus} | cp_pcpus
+    assert deployment.tenancy is manager
+    assert deployment.taichi.scheduler.tenancy is manager
+
+
+def test_install_seeds_per_tenant_probe_thresholds():
+    deployment, manager = _install()
+    sw_probe = deployment.taichi.sw_probe
+    for service in manager.by_id["gold"].services:
+        assert sw_probe.threshold_for(service) == 64
+    bronze_service = manager.by_id["bronze"].services[0]
+    assert sw_probe.threshold_for(bronze_service) \
+        == deployment.taichi.config.initial_threshold
+
+
+def test_install_twice_is_rejected():
+    deployment, manager = _install()
+    with pytest.raises(RuntimeError, match="already installed"):
+        manager.install()
+
+
+def test_install_on_static_arm_shares_cp_partition():
+    deployment, manager = _install(arm="static")
+    assert deployment.taichi is None
+    for runtime in manager.runtimes:
+        assert runtime.cp_affinity == set(deployment.cp_affinity)
+        assert runtime.services            # DP split still happens
+
+
+# -- donation policy -----------------------------------------------------------
+
+
+def test_may_back_isolates_tenant_dp_cpus():
+    deployment, manager = _install()
+    gold = manager.by_id["gold"]
+    bronze = manager.by_id["bronze"]
+    gold_cpu = gold.services[0].cpu_id
+    assert manager.may_back(gold_cpu, gold.vcpus[0])
+    assert not manager.may_back(gold_cpu, bronze.vcpus[0])
+    # Shared CP pCPUs back anyone.
+    cp_pcpu = deployment.board.cp_cpu_ids[0]
+    assert manager.may_back(cp_pcpu, bronze.vcpus[0])
+
+
+def test_isolation_off_backs_anyone():
+    deployment, manager = _install(isolation=False)
+    gold = manager.by_id["gold"]
+    bronze = manager.by_id["bronze"]
+    assert manager.may_back(gold.services[0].cpu_id, bronze.vcpus[0])
+
+
+def test_choose_picks_lowest_normalized_usage_then_declaration_order():
+    deployment, manager = _install()
+    gold = manager.by_id["gold"]
+    bronze = manager.by_id["bronze"]
+    heads = {gold: gold.vcpus[0], bronze: bronze.vcpus[0]}
+    # Fresh ledgers tie at zero: declaration order wins.
+    assert manager.choose(heads, cpu_id=None) is gold.vcpus[0]
+    # Charge gold 3 weight-normalized us vs bronze 1: bronze wins.
+    gold.granted_ns = 9_000     # /3.0 -> 3_000
+    bronze.granted_ns = 1_000   # /1.0 -> 1_000
+    assert manager.choose(heads, cpu_id=None) is bronze.vcpus[0]
+
+
+def test_note_grant_updates_ledgers_and_board_total():
+    deployment, manager = _install()
+    gold = manager.by_id["gold"]
+    manager.note_grant(gold.vcpus[0], 50_000, cpu_id=0)
+    assert gold.granted_ns == 50_000 and gold.grants == 1
+    assert manager.total_granted_ns == 50_000
+
+    class UntaggedVcpu:
+        pass
+
+    # Untagged vCPUs hit the board total but no tenant ledger.
+    manager.note_grant(UntaggedVcpu(), 10_000, cpu_id=0)
+    assert manager.total_granted_ns == 60_000
+    assert sum(r.granted_ns for r in manager.runtimes) == 50_000
+
+
+# -- dynamic repartitioning ----------------------------------------------------
+
+
+def test_repartition_adopts_and_releases_services():
+    from repro.core.repartition import DynamicRepartitioner
+
+    deployment, manager = _install()
+    repartitioner = DynamicRepartitioner(deployment)
+    before = {tid: len(r.services) for tid, r in manager.by_id.items()}
+
+    (new_service,) = repartitioner.cp_to_dp(1)
+    # bronze holds 2/1.0 = 2 normalized services vs gold's 6/3.0 = 2:
+    # the tie breaks to the earlier declaration — gold adopts.
+    assert new_service.tenant_id == "gold"
+    assert len(manager.by_id["gold"].services) == before["gold"] + 1
+
+    repartitioner.dp_to_cp(1)
+    # The retired service (the adopted one: partitions pop the tail)
+    # leaves its owner's book.
+    assert len(manager.by_id["gold"].services) == before["gold"]
+    assert manager.tenant_of_cpu(new_service.cpu_id) is None
+
+
+def test_stats_shape():
+    deployment, manager = _install()
+    stats = manager.stats()
+    assert stats["isolation"] is True
+    assert set(stats["tenants"]) == {"gold", "bronze"}
+    block = stats["tenants"]["gold"]
+    assert block["weight"] == 3.0
+    assert len(block["services"]) == 6 and len(block["vcpus"]) == 6
+    assert block["granted_ns"] == 0 and block["grants"] == 0
