@@ -11,6 +11,9 @@ the yield was a false positive (raise ``N``, be more conservative).
 class SoftwareWorkloadProbe:
     """Per-service adaptive empty-poll thresholds plus the notify hook."""
 
+    __slots__ = ("config", "scheduler", "_thresholds", "notifications",
+                 "increases", "decreases")
+
     def __init__(self, config, scheduler):
         self.config = config
         self.scheduler = scheduler
@@ -20,8 +23,16 @@ class SoftwareWorkloadProbe:
         self.decreases = 0
 
     def threshold_for(self, service):
-        """Current empty-poll threshold for ``service``."""
-        return self._thresholds.setdefault(service, self.config.initial_threshold)
+        """Current empty-poll threshold for ``service``.
+
+        Runs once per idle window on every DP service, so it avoids the
+        ``setdefault`` default-construction on the hit path.
+        """
+        threshold = self._thresholds.get(service)
+        if threshold is None:
+            threshold = self.config.initial_threshold
+            self._thresholds[service] = threshold
+        return threshold
 
     def seed_threshold(self, service, threshold):
         """Start ``service`` from a per-tenant threshold instead of the

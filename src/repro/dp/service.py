@@ -66,6 +66,10 @@ class DPService:
         self.stalls_injected = 0
         self._recent_waits = deque(maxlen=256)  # rx-ready -> dp-start, ns
 
+        # In-flight when_nonempty watchers, withdrawn after every idle wait
+        # so abandoned watchers don't pile up on the rx stores over a soak.
+        self._arrival_watchers = []
+
         # Causal tracing: let the span tracker attribute rx-queue waits to
         # queued-behind service time on this poller thread.
         self.env.spans.register_dp_thread(name)
@@ -198,20 +202,53 @@ class DPService:
             arrival = self._arrival_event()
             control = self.env.event()
             self._control_event = control
+            fast = self.env.config.fast_forward
             if self.idle_notifier is None:
-                # Plain deployment: nothing to yield to; wait for traffic.
-                yield WaitEvent(self.env.any_of([arrival, control]))
+                # Plain deployment: nothing to yield to; the real service
+                # busy-polls until traffic shows up.  Fast path: jump the
+                # clock straight to the next arrival/control event and
+                # account the empty rx_bursts that would have happened.
+                # Stepped path: one discrete event per empty poll.
+                idle_since = self.env.now
+                if fast:
+                    yield WaitEvent(self.env.any_of([arrival, control]))
+                    self.env.note_fast_forward(
+                        (self.env.now - idle_since) // params.poll_ns)
+                else:
+                    wait = self.env.any_of([arrival, control])
+                    self._arm_stepped_polls(wait, None, params.poll_ns)
+                    yield WaitEvent(wait)
+                self._cancel_arrival_watchers()
                 self._control_event = None
                 continue
 
             # Count empty polls up to the (adaptive) threshold, then notify.
             threshold = self.idle_notifier.threshold_for(self)
-            budget_ns = max(int(threshold), 1) * params.poll_ns
-            timer = self.env.timeout(budget_ns)
-            yield WaitEvent(self.env.any_of([arrival, timer, control]))
+            n_polls = max(int(threshold), 1)
+            budget_ns = n_polls * params.poll_ns
+            idle_since = self.env.now
+            if fast:
+                # The whole empty-poll budget collapses into one timeout;
+                # timing and the arrival/control race are identical to the
+                # stepped chain (the last stepped tick lands exactly at
+                # ``budget_ns``).
+                timer = self.env.timeout(budget_ns)
+                yield WaitEvent(self.env.any_of([arrival, timer, control]))
+            else:
+                timer = self.env.event()
+                wait = self.env.any_of([arrival, timer, control])
+                self._arm_stepped_polls(wait, n_polls, params.poll_ns,
+                                        done=timer)
+                yield WaitEvent(wait)
+            self._cancel_arrival_watchers()
             if arrival.triggered or control.triggered or self._shutdown:
+                if fast:
+                    self.env.note_fast_forward(
+                        (self.env.now - idle_since) // params.poll_ns)
                 self._control_event = None
                 continue  # traffic/control beat the threshold; count resets
+            if fast:
+                self.env.note_fast_forward(n_polls)
             self.empty_poll_streaks += 1
             if self.probe_fusion and self._pipeline_traffic_imminent():
                 # Packets are already inside the accelerator pipeline:
@@ -228,8 +265,11 @@ class DPService:
             self.idle_notifier.notify_idle(self)
             resume = self.env.event()
             self._resume_event = resume
+            # No poll accounting here: the CPU is donated, the loop is not
+            # running, so an idle-blocked wait skips nothing.
             yield WaitEvent(self.env.any_of(
                 [self._arrival_event(), resume, control]))
+            self._cancel_arrival_watchers()
             self._resume_event = None
             self._control_event = None
             self.is_idle_blocked = False
@@ -247,11 +287,44 @@ class DPService:
 
     def _arrival_event(self):
         events = [store.when_nonempty() for store in self.rx_stores]
+        self._arrival_watchers = list(zip(self.rx_stores, events))
         if not events:
             return self.env.event()  # queue-less service: only control wakes it
         if len(events) == 1:
             return events[0]
         return self.env.any_of(events)
+
+    def _cancel_arrival_watchers(self):
+        """Withdraw watchers the finished wait no longer needs."""
+        for store, event in self._arrival_watchers:
+            if not event.triggered:
+                store.cancel_nonempty(event)
+        self._arrival_watchers = []
+
+    def _arm_stepped_polls(self, wait, n_polls, poll_ns, done=None):
+        """Reference ("stepped") idle engine: one event per empty rx_burst.
+
+        Arms a self-re-arming chain of ``poll_ns`` timeouts at the pure
+        event layer (no thread dispatch, so scheduler behaviour is
+        untouched); after ``n_polls`` ticks it succeeds ``done`` — landing
+        on exactly the instant the fast path's single analytic timeout
+        fires.  With ``n_polls=None`` the chain re-arms until ``wait``
+        triggers.  Only engine self-profiling distinguishes the two modes.
+        """
+        env = self.env
+
+        def _arm(remaining):
+            def _tick(_event, remaining=remaining):
+                if wait.triggered:
+                    return
+                if remaining is not None and remaining <= 1:
+                    done.succeed()
+                    return
+                _arm(None if remaining is None else remaining - 1)
+
+            env.timeout(poll_ns).callbacks.append(_tick)
+
+        _arm(n_polls)
 
     def _packet_cost(self, request):
         cost = int(request.service_ns * self.params.work_scale)

@@ -232,6 +232,8 @@ def _validate_one(payload):
         result.metrics.update({
             "engine_environments": engine["environments"],
             "engine_events": engine["events_processed"],
+            "engine_events_skipped": engine["events_skipped"],
+            "engine_fast_forward_windows": engine["fast_forward_windows"],
             "engine_heap_peak": engine["heap_peak"],
             "engine_events_per_wall_s": engine["events_per_wall_s"],
         })
@@ -277,10 +279,14 @@ def _aggregate_engine_profile(registry):
     if not profiles:
         return None
     events = sum(p["events_processed"] for p in profiles)
+    skipped = sum(p.get("events_skipped", 0) for p in profiles)
     wall_s = sum(p["wall_time_s"] for p in profiles)
     return {
         "environments": len(profiles),
         "events_processed": events,
+        "events_skipped": skipped,
+        "fast_forward_windows": sum(p.get("fast_forward_windows", 0)
+                                    for p in profiles),
         "heap_peak": max(p["heap_peak"] for p in profiles),
         "wall_time_s": wall_s,
         "events_per_wall_s": events / wall_s if wall_s > 0 else 0.0,

@@ -124,8 +124,11 @@ def _deterministic_metrics(registry):
     deterministic pieces survive.
     """
     snap = registry.snapshot()
-    engine_events = sum(
-        profile["events_processed"]
-        for name, profile in snap["sources"].items()
-        if name.split("#")[0] == "sim.engine")
-    return {"counters": snap["counters"], "engine_events": engine_events}
+    engine_events = 0
+    engine_skipped = 0
+    for name, profile in snap["sources"].items():
+        if name.split("#")[0] == "sim.engine":
+            engine_events += profile["events_processed"]
+            engine_skipped += profile.get("events_skipped", 0)
+    return {"counters": snap["counters"], "engine_events": engine_events,
+            "engine_events_skipped": engine_skipped}

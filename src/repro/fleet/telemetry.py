@@ -193,6 +193,7 @@ def _node_row_from_snapshots(node_id, snapshots):
         "rq_depth": gauges.get("rq_depth"),
         "probe": ("ok" if gauges.get("probe_health", 1.0) >= 1.0
                   else "DEGRADED"),
+        "engine": "-",  # snapshot series carry no engine self-profile
         "alerts": ",".join(last.alerts) if last is not None and last.alerts
         else "-",
     }
@@ -212,8 +213,29 @@ def _node_row_from_summary(node):
         "startup_slo_pct": node.get("startup_slo_attainment_pct"),
         "rq_depth": None,
         "probe": "ok",
+        "engine": _engine_cell(node.get("engine")),
         "alerts": ",".join(active) if active else "-",
     }
+
+
+def _engine_cell(engine):
+    """Compact engine self-profile: events processed + fast-forward share.
+
+    Reports predating the ``engine`` summary block render ``-``.
+    """
+    if not engine:
+        return "-"
+    processed = engine.get("events_processed", 0)
+    ratio = engine.get("skipped_ratio", 0.0)
+    return f"{_si(processed)}ev {ratio * 100.0:.0f}%ff"
+
+
+def _si(n):
+    if n >= 1_000_000:
+        return f"{n / 1e6:.1f}M"
+    if n >= 1_000:
+        return f"{n / 1e3:.1f}k"
+    return str(n)
 
 
 def _tenant_rows(nodes):

@@ -161,17 +161,36 @@ class Kernel:
                                depth=len(cpu.runqueue))
 
     def select_cpu(self, thread, preferred=None):
-        """Wake placement: preferred CPU if idle-ish, else least loaded."""
-        candidates = [
-            cpu for cpu in self.cpus.values()
-            if cpu.online and thread.can_run_on(cpu.cpu_id)
-        ]
-        # A CPU parking for hotplug removal is a last resort: placing there
-        # just bounces the thread back through offline migration.
-        staying = [cpu for cpu in candidates if not cpu.offline_pending]
-        if staying:
-            candidates = staying
-        if not candidates:
+        """Wake placement: preferred CPU if idle-ish, else least loaded.
+
+        A CPU parking for hotplug removal is a last resort: placing there
+        just bounces the thread back through offline migration.  This runs
+        on every thread wake, so it is a single pass over the CPUs with one
+        ``placement_load()`` call each (was three list comprehensions).
+        """
+        can_run_on = thread.can_run_on
+        first_idle = None            # first zero-load non-parking candidate
+        best = None                  # least-loaded non-parking candidate
+        best_key = None
+        parking_first_idle = None    # same, among parking CPUs (last resort)
+        parking_best = None
+        parking_best_key = None
+        for cpu in self.cpus.values():
+            if not cpu.online or not can_run_on(cpu.cpu_id):
+                continue
+            load = cpu.placement_load()
+            key = (load, str(cpu.cpu_id))
+            if cpu.offline_pending:
+                if load == 0 and parking_first_idle is None:
+                    parking_first_idle = cpu
+                if parking_best_key is None or key < parking_best_key:
+                    parking_best, parking_best_key = cpu, key
+            else:
+                if load == 0 and first_idle is None:
+                    first_idle = cpu
+                if best_key is None or key < best_key:
+                    best, best_key = cpu, key
+        if best is None and parking_best is None:
             return None
         if preferred is not None:
             preferred_cpu = self.cpus.get(preferred)
@@ -179,15 +198,14 @@ class Kernel:
                 preferred_cpu is not None
                 and preferred_cpu.online
                 and not preferred_cpu.offline_pending
-                and thread.can_run_on(preferred)
+                and can_run_on(preferred)
                 and preferred_cpu.placement_load() == 0
             ):
                 return preferred_cpu
-        idle = [cpu for cpu in candidates if cpu.placement_load() == 0]
-        if idle:
-            return idle[0]
-        return min(candidates,
-                   key=lambda cpu: (cpu.placement_load(), str(cpu.cpu_id)))
+        if best is not None:
+            return first_idle if first_idle is not None else best
+        return parking_first_idle if parking_first_idle is not None \
+            else parking_best
 
     def set_affinity(self, thread, cpu_ids):
         """Change a thread's CPU affinity at runtime (sched_setaffinity).

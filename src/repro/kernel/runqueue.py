@@ -19,6 +19,8 @@ class RunQueue:
     (a lightweight CFS).
     """
 
+    __slots__ = ("cpu_id", "_rt", "_fair", "min_vruntime")
+
     def __init__(self, cpu_id):
         self.cpu_id = cpu_id
         self._rt = deque()
@@ -61,10 +63,21 @@ class RunQueue:
         """Pop the best candidate, or ``None`` if empty."""
         if self._rt:
             return self._rt.popleft()
-        if self._fair:
-            best = min(self._fair, key=lambda t: (t.vruntime, t.tid))
-            self._fair.remove(best)
-            self.min_vruntime = max(self.min_vruntime, best.vruntime)
+        fair = self._fair
+        if fair:
+            # Single-pass scan; ties broken by lowest tid (same selection as
+            # min() over (vruntime, tid) tuples, without building keys).
+            best_i = 0
+            best = fair[0]
+            for i in range(1, len(fair)):
+                t = fair[i]
+                if (t.vruntime < best.vruntime
+                        or (t.vruntime == best.vruntime and t.tid < best.tid)):
+                    best = t
+                    best_i = i
+            del fair[best_i]
+            if best.vruntime > self.min_vruntime:
+                self.min_vruntime = best.vruntime
             return best
         return None
 

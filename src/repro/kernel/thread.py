@@ -26,6 +26,12 @@ class KThread:
         pinned_cpu: resolved home CPU, if single-CPU affinity.
     """
 
+    __slots__ = ("tid", "name", "body", "affinity", "sched_class",
+                 "nice_weight", "state", "cpu", "last_cpu", "vruntime",
+                 "total_runtime_ns", "wait_since_ns", "exit_value",
+                 "current_instruction", "remaining_ns", "pending_result",
+                 "started", "locks_held", "done")
+
     def __init__(self, name, body, affinity=None, sched_class=None, nice_weight=1.0):
         from repro.kernel.runqueue import SchedClass
 

@@ -12,24 +12,45 @@ bounded-memory policies are supported:
 Either way :attr:`Timeline.dropped` says how many events were lost, and
 renderers/exporters are expected to surface it rather than silently
 presenting a truncated trace.
+
+In ring mode the record evicted by a full buffer is *recycled in place*
+for the incoming event rather than freed — a traced soak allocates
+``cap`` records total instead of one per event.  Consumers must treat a
+record as immutable only while it stays in the ring: hooks (inline
+invariant checkers) consume events synchronously, and exporters read the
+live buffer, so neither observes recycling; holding a reference across
+``cap`` further records does not.
 """
 
 from collections import deque
-from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
 class TimelineEvent:
     """One scheduling event: what happened on which CPU at what time."""
 
-    ts_ns: int
-    cpu_id: object
-    kind: str
-    detail: dict = field(default_factory=dict)
+    __slots__ = ("ts_ns", "cpu_id", "kind", "detail")
+
+    def __init__(self, ts_ns, cpu_id, kind, detail=None):
+        self.ts_ns = ts_ns
+        self.cpu_id = cpu_id
+        self.kind = kind
+        self.detail = {} if detail is None else detail
+
+    def __eq__(self, other):
+        if isinstance(other, TimelineEvent):
+            return (self.ts_ns == other.ts_ns
+                    and self.cpu_id == other.cpu_id
+                    and self.kind == other.kind
+                    and self.detail == other.detail)
+        return NotImplemented
 
     def __str__(self):
         extras = " ".join(f"{key}={value}" for key, value in sorted(self.detail.items()))
         return f"[{self.ts_ns:>12} ns] cpu={self.cpu_id} {self.kind} {extras}".rstrip()
+
+    def __repr__(self):
+        return (f"TimelineEvent(ts_ns={self.ts_ns!r}, cpu_id={self.cpu_id!r}, "
+                f"kind={self.kind!r}, detail={self.detail!r})")
 
 
 class Timeline:
@@ -51,12 +72,21 @@ class Timeline:
         Returning the event lets subscribers (inline invariant checkers)
         observe the full stream regardless of the capacity policy.
         """
-        event = TimelineEvent(ts_ns, cpu_id, kind, detail)
-        if len(self.events) >= self.cap:
+        events = self.events
+        if len(events) >= self.cap:
             self.dropped += 1
             if not self.ring:
-                return event
-        self.events.append(event)
+                return TimelineEvent(ts_ns, cpu_id, kind, detail)
+            # Recycle the evicted record: a full flight recorder stops
+            # allocating entirely.
+            event = events.popleft()
+            event.ts_ns = ts_ns
+            event.cpu_id = cpu_id
+            event.kind = kind
+            event.detail = detail
+        else:
+            event = TimelineEvent(ts_ns, cpu_id, kind, detail)
+        events.append(event)
         return event
 
     def filter(self, kind=None, cpu_id=None):

@@ -242,6 +242,7 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
         "dp_sketch": dp_sketch.to_dict(),
         "dp_slo_total": len(dp_samples_us),
         "startup_sketch": startup_sketch.to_dict(),
+        "engine": engine_summary(env),
     }
     if spans:
         # Only added when spans are on, so a spans-off summary (and its
@@ -262,6 +263,30 @@ def run_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
         if jsonl_writer is not None:
             summary["telemetry"]["path"] = jsonl_writer.finish()
     return summary
+
+
+def engine_summary(env):
+    """Deterministic engine self-profile for the summary ``engine`` block.
+
+    Only wall-clock-free fields ship (no ``wall_time_s`` /
+    ``events_per_wall_s``), keeping the fleet's byte-identity contract
+    across ``--jobs`` levels.  These fields *do* depend on the engine
+    mode — a stepped run processes the events a fast-forward run elides —
+    which is exactly what the equivalence tests assert: summaries must be
+    byte-identical outside this block, and
+    ``stepped.events_processed == fast.events_processed +
+    fast.events_skipped`` up to the handful of bookkeeping events each
+    mode uniquely owns.
+    """
+    profile = env.profile()
+    return {
+        "events_processed": profile["events_processed"],
+        "events_skipped": profile["events_skipped"],
+        "fast_forward_windows": profile["fast_forward_windows"],
+        "skipped_ratio": profile["skipped_ratio"],
+        "scheduler": profile["scheduler"],
+        "fast_forward": profile["fast_forward"],
+    }
 
 
 def _wire_bus_gauges(bus, deployment, host, probe_latency, dp_within_running,

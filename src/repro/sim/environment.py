@@ -1,6 +1,6 @@
-"""The simulation environment: clock, event heap, and run loop."""
+"""The simulation environment: clock, scheduler queue, and run loop."""
 
-from heapq import heappop, heappush
+from dataclasses import dataclass
 from itertools import count
 from time import perf_counter
 
@@ -11,6 +11,33 @@ from repro.obs.tracer import Tracer
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, PRIORITY_NORMAL, Timeout
 from repro.sim.process import Process
+from repro.sim.queues import SCHEDULERS, make_queue
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine tuning knobs, exposed as the ``engine`` scenario knob.
+
+    ``fast_forward`` enables the analytic idle fast-forward: components
+    whose only pending work is a pure timer chain (the DP poll loop's
+    empty-poll budget) collapse the chain into one batched timeout and
+    report the elided events via :meth:`Environment.note_fast_forward`.
+    Results are byte-identical either way — only the engine's
+    self-profile (events processed vs. skipped) differs.
+
+    ``scheduler`` selects the pending-event queue implementation; see
+    :mod:`repro.sim.queues`.  All queues pop in the same total order, so
+    this is purely a throughput knob.
+    """
+
+    fast_forward: bool = True
+    scheduler: str = "heap"
+
+    def __post_init__(self):
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {sorted(SCHEDULERS)}")
 
 
 class Environment:
@@ -25,18 +52,22 @@ class Environment:
     session is tracing) and ``self.metrics`` (a
     :class:`~repro.obs.registry.MetricsRegistry`, shared with the active
     session if any).  The engine also profiles itself — events processed,
-    peak heap depth, wall time spent in :meth:`run` — exposed through
-    :meth:`profile` and registered as the ``sim.engine`` metrics source.
+    events elided by the idle fast-forward, peak queue depth, wall time
+    spent in :meth:`run` — exposed through :meth:`profile` and registered
+    as the ``sim.engine`` metrics source.
     """
 
-    def __init__(self, initial_time=0):
+    def __init__(self, initial_time=0, config=None):
         self._now = int(initial_time)
-        self._queue = []
+        self.config = config if config is not None else EngineConfig()
+        self._queue = make_queue(self.config.scheduler)
         self._eid = count()
         self._active_process = None
 
         # Engine self-profiling.
         self._events_processed = 0
+        self._events_skipped = 0
+        self._fast_forward_windows = 0
         self._heap_peak = 0
         self._wall_s = 0.0
 
@@ -68,13 +99,15 @@ class Environment:
 
     def schedule(self, event, priority=PRIORITY_NORMAL, delay=0):
         """Queue ``event`` to be processed after ``delay`` nanoseconds."""
-        heappush(self._queue, (self._now + int(delay), priority, next(self._eid), event))
-        if len(self._queue) > self._heap_peak:
-            self._heap_peak = len(self._queue)
+        queue = self._queue
+        queue.push((self._now + int(delay), priority, next(self._eid), event))
+        if len(queue) > self._heap_peak:
+            self._heap_peak = len(queue)
 
     def peek(self):
         """Time of the next scheduled event, or ``None`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        entry = self._queue.peek()
+        return entry[0] if entry is not None else None
 
     def step(self):
         """Process the single next event.
@@ -83,7 +116,7 @@ class Environment:
         an event's failure exception if nothing defused it.
         """
         try:
-            when, _, _, event = heappop(self._queue)
+            when, _, _, event = self._queue.pop()
         except IndexError:
             raise SimulationError("no more events") from None
 
@@ -119,13 +152,29 @@ class Environment:
                 stop = Timeout(self, at - self._now)
                 stop.callbacks.append(_stop_callback)
 
+        # The event loop is inlined (rather than calling self.step() per
+        # event) — on soak workloads the extra frame per event was ~15% of
+        # total wall time.
+        queue = self._queue
+        pop = queue.pop
+        processed = 0
         wall_start = perf_counter()
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _, _, event = pop()
+                self._now = when
+                processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    # An unhandled failure crashes the simulation loudly
+                    # rather than being silently dropped.
+                    raise event._value
         except StopSimulation as exc:
             return exc.value
         finally:
+            self._events_processed += processed
             self._wall_s += perf_counter() - wall_start
 
         if stop is not None and isinstance(until, Event) and not until.triggered:
@@ -146,17 +195,32 @@ class Environment:
 
     # -- Engine self-profiling ------------------------------------------------
 
+    def note_fast_forward(self, skipped):
+        """Record one analytic fast-forward window that elided ``skipped``
+        events the stepped engine would have processed."""
+        if skipped > 0:
+            self._events_skipped += skipped
+            self._fast_forward_windows += 1
+
     def profile(self):
         """DES self-profiling gauges (the ``sim.engine`` metrics source)."""
         sim_s = self._now / 1e9
         wall = self._wall_s
+        processed = self._events_processed
+        skipped = self._events_skipped
         return {
-            "events_processed": self._events_processed,
+            "events_processed": processed,
+            "events_skipped": skipped,
+            "fast_forward_windows": self._fast_forward_windows,
+            "skipped_ratio": round(skipped / (processed + skipped), 4)
+            if processed + skipped else 0.0,
+            "scheduler": self.config.scheduler,
+            "fast_forward": self.config.fast_forward,
             "heap_peak": self._heap_peak,
             "heap_pending": len(self._queue),
             "sim_time_ns": self._now,
             "wall_time_s": round(wall, 6),
-            "events_per_wall_s": round(self._events_processed / wall, 1) if wall > 0 else 0.0,
+            "events_per_wall_s": round(processed / wall, 1) if wall > 0 else 0.0,
             "wall_s_per_sim_s": round(wall / sim_s, 6) if sim_s > 0 else 0.0,
         }
 

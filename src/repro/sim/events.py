@@ -4,6 +4,10 @@ An :class:`Event` is a one-shot occurrence: it starts *pending*, is
 *triggered* exactly once (with a value or an exception), and after the
 environment pops it from the heap it becomes *processed* and its callbacks
 run.  Processes (see :mod:`repro.sim.process`) advance by yielding events.
+
+All event classes use ``__slots__``: soaks create tens of millions of
+short-lived events and the per-instance ``__dict__`` was the single
+largest allocation on the hot path.
 """
 
 from repro.sim.errors import SimulationError
@@ -24,6 +28,8 @@ class Event:
         callbacks: list of callables invoked with the event once processed,
             or ``None`` after processing (appending then is an error).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env):
         self.env = env
@@ -81,8 +87,12 @@ class Event:
     def trigger(self, event):
         """Trigger this event with the state of another event.
 
-        Used as a callback to chain events together.
+        Used as a callback to chain events together.  ``event`` must
+        itself be triggered already.
         """
+        if event._ok is None:
+            raise SimulationError(
+                f"cannot trigger {self!r} from untriggered source {event!r}")
         if event._ok:
             self.succeed(event._value)
         else:
@@ -108,6 +118,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` nanoseconds after creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env, delay, value=None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -127,6 +139,8 @@ class Timeout(Event):
 
 class ConditionValue:
     """Ordered mapping of events to values for triggered conditions."""
+
+    __slots__ = ("events",)
 
     def __init__(self, events):
         self.events = events
@@ -161,7 +175,15 @@ class Condition(Event):
     """An event that triggers when ``evaluate(events, n_done)`` is true.
 
     Build with :class:`AllOf` / :class:`AnyOf` rather than directly.
+
+    Once the condition triggers, its ``_check`` callback is pruned from
+    every still-pending member event.  Long-lived members (a store's
+    ``when_nonempty`` watcher held across thousands of ``AnyOf`` waits)
+    would otherwise accumulate one dead callback per wait for the life
+    of the soak.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(self, env, evaluate, events):
         super().__init__(env)
@@ -182,6 +204,11 @@ class Condition(Event):
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
+            if self.triggered:
+                # Already decided: later members never had _check attached
+                # (or just triggered us) — drop it from the earlier ones.
+                self._prune()
+                break
 
     def _done_events(self):
         return [event for event in self._events if event.triggered]
@@ -195,6 +222,16 @@ class Condition(Event):
             self.fail(event._value)
         elif self._evaluate(self._events, self._count):
             self.succeed(ConditionValue(self._done_events()))
+        if self.triggered:
+            self._prune()
+
+    def _prune(self):
+        """Detach ``_check`` from members that will never need it again."""
+        check = self._check
+        for event in self._events:
+            callbacks = event.callbacks
+            if callbacks is not None and check in callbacks:
+                callbacks.remove(check)
 
     @staticmethod
     def all_events(events, count):
@@ -208,12 +245,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when all given events have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env, events):
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Triggers when any of the given events has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env, events):
         super().__init__(env, Condition.any_events, events)

@@ -7,6 +7,8 @@ from repro.sim.events import Event, PRIORITY_URGENT, _PENDING
 class _InterruptEvent(Event):
     """Internal urgent event used to deliver an interrupt to a process."""
 
+    __slots__ = ()
+
     def __init__(self, env, process, cause):
         super().__init__(env)
         self._ok = False
@@ -28,6 +30,8 @@ class Process(Event):
     :class:`~repro.sim.errors.Interrupt` inside the generator at its current
     yield point.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env, generator, name=None):
         if not hasattr(generator, "throw"):

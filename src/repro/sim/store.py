@@ -8,6 +8,8 @@ from repro.sim.events import Event
 class StorePut(Event):
     """Event for a pending put; succeeds when the item is accepted."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store, item):
         super().__init__(store.env)
         self.item = item
@@ -15,6 +17,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Event for a pending get; succeeds with the retrieved item."""
+
+    __slots__ = ()
 
     def __init__(self, store):
         super().__init__(store.env)
@@ -28,6 +32,9 @@ class Store:
     ordering of both items and waiters is strictly FIFO, which keeps packet
     queues and run queues deterministic.
     """
+
+    __slots__ = ("env", "capacity", "name", "items", "_getters", "_putters",
+                 "_nonempty_watchers")
 
     def __init__(self, env, capacity=None, name=None):
         if capacity is not None and capacity <= 0:
@@ -95,6 +102,19 @@ class Store:
         else:
             self._nonempty_watchers.append(event)
         return event
+
+    def cancel_nonempty(self, event):
+        """Withdraw a pending :meth:`when_nonempty` watcher.
+
+        Poll-mode consumers that stopped caring (their wait was satisfied by
+        a different store or a control event) call this so abandoned
+        watchers don't pile up for the life of a soak.  A watcher that has
+        already fired, or was never registered, is ignored.
+        """
+        try:
+            self._nonempty_watchers.remove(event)
+        except ValueError:
+            pass
 
     def _dispatch(self):
         # Move items from pending putters to the buffer, then satisfy getters.

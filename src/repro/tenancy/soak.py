@@ -26,6 +26,7 @@ from repro.hw.packet import IORequest, PacketKind
 from repro.metrics import LatencyRecorder, QuantileSketch
 from repro.metrics.sketch import DEFAULT_ALPHA
 from repro.metrics.stats import attainment_pct, summarize
+from repro.scenario.soak import engine_summary
 from repro.sim.units import MICROSECONDS, MILLISECONDS
 
 from repro.tenancy.manager import TenancyManager
@@ -270,6 +271,7 @@ def run_tenant_soak(scenario, seed=0, duration_ns=400 * MILLISECONDS,
         "dp_sketch": dp_sketch.to_dict(),
         "dp_slo_total": len(dp_samples_us),
         "startup_sketch": startup_sketch.to_dict(),
+        "engine": engine_summary(env),
         "tenancy": {
             "isolation": tenancy.isolation,
             "total_granted_ns": tenancy.total_granted_ns,

@@ -93,3 +93,29 @@ def test_unhandled_process_failure_crashes_run():
     env.process(bad(env))
     with pytest.raises(RuntimeError, match="boom"):
         env.run()
+
+
+def test_engine_config_rejects_unknown_scheduler():
+    from repro.sim import EngineConfig
+
+    with pytest.raises(ValueError, match="scheduler"):
+        EngineConfig(scheduler="fibonacci")
+
+
+def test_profile_reports_engine_configuration_and_skips():
+    from repro.sim import EngineConfig
+
+    env = Environment(config=EngineConfig(fast_forward=True,
+                                          scheduler="calendar"))
+    env.timeout(5)
+    env.run()
+    env.note_fast_forward(30)
+    env.note_fast_forward(0)  # empty windows are not counted
+    profile = env.profile()
+    assert profile["scheduler"] == "calendar"
+    assert profile["fast_forward"] is True
+    assert profile["events_skipped"] == 30
+    assert profile["fast_forward_windows"] == 1
+    processed = profile["events_processed"]
+    assert profile["skipped_ratio"] == pytest.approx(
+        30 / (processed + 30), abs=1e-4)

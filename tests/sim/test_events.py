@@ -118,3 +118,63 @@ def test_condition_with_already_processed_event():
     env.process(proc(env))
     env.run()
     assert done["value"] == "x"
+
+
+def test_trigger_from_untriggered_source_rejected():
+    env = Environment()
+    source, target = env.event(), env.event()
+    with pytest.raises(SimulationError, match="untriggered source"):
+        target.trigger(source)
+
+
+def test_trigger_copies_outcome_from_source():
+    env = Environment()
+    source, target = env.event(), env.event()
+    source.succeed("payload")
+    target.trigger(source)
+    assert target.triggered
+    env.run()
+    assert target.value == "payload"
+
+
+def test_condition_prunes_callbacks_once_triggered():
+    env = Environment()
+    fast, slow = env.timeout(5), env.timeout(9)
+    done = []
+
+    def proc(env):
+        yield AnyOf(env, [fast, slow])
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=6)
+    assert done == [5]
+    # The condition fired on ``fast``; its check must no longer sit on
+    # the pending member, so the loser carries no stale callbacks.
+    assert slow.callbacks == []
+    env.run()
+
+
+def test_condition_on_processed_event_leaves_no_callbacks():
+    env = Environment()
+    first, second = env.event(), env.event()
+    first.succeed()
+    env.run()
+    condition = AnyOf(env, [first, second])
+    assert condition.triggered
+    # Already decided at construction: the second member must never have
+    # been subscribed to (or must have been pruned immediately).
+    assert second.callbacks == []
+
+
+def test_events_reject_adhoc_attributes():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+
+    for obj in (env.event(), env.timeout(1),
+                AnyOf(env, [env.event()]),
+                env.process(proc(env))):
+        with pytest.raises(AttributeError):
+            obj.scratch = 1

@@ -132,3 +132,26 @@ def test_when_nonempty_immediate_if_items_present():
     env.run()
     event = store.when_nonempty()
     assert event.triggered
+
+
+def test_cancel_nonempty_unsubscribes_watcher():
+    env = Environment()
+    store = Store(env)
+    event = store.when_nonempty()
+    store.cancel_nonempty(event)
+    store.put("x")
+    env.run()
+    # The cancelled watcher never fires even though the store filled.
+    assert not event.triggered
+    assert store._nonempty_watchers == []
+
+
+def test_cancel_nonempty_tolerates_already_fired_watcher():
+    env = Environment()
+    store = Store(env)
+    event = store.when_nonempty()
+    store.put("x")
+    env.run()
+    assert event.triggered
+    store.cancel_nonempty(event)  # no-op, no raise
+    store.cancel_nonempty(event)  # idempotent
